@@ -1,0 +1,172 @@
+"""Figures 9(a) and 9(b): top-k query time vs k and vs number of terms.
+
+Paper shape (US dataset): KS-PHL fastest by orders of magnitude, KS-CH
+consistently several times faster than G-tree, ROAD slowest; all curves
+grow with k; the KS-PHL/KS-CH gap narrows (in ratio) with more keywords
+as heap maintenance takes a larger share.
+
+Includes the pseudo-lower-bound ablation called out in DESIGN.md §7:
+Algorithm 2's pseudo bounds versus the valid all-unseen bound.
+"""
+
+from repro.bench import log_series_chart, print_table, save_result, time_queries
+
+K_VALUES = [1, 5, 10, 25, 50]
+TERM_VALUES = [1, 2, 3, 4, 5, 6]
+DEFAULT_K = 10
+DEFAULT_TERMS = 2
+NUM_VECTORS = 6
+VERTICES_PER_VECTOR = 3
+
+
+def _methods(suite):
+    return {
+        "KS-PHL": suite.ks_phl.top_k,
+        "KS-CH": suite.ks_ch.top_k,
+        "G-tree": suite.gtree_sk.top_k,
+        "ROAD": suite.road.top_k,
+    }
+
+
+def _sweep(methods, workloads, k):
+    row = {}
+    for name, top_k in methods.items():
+        summary = time_queries(
+            [
+                (lambda q=q: top_k(q.vertex, k, list(q.keywords)))
+                for q in workloads
+            ]
+        )
+        row[name] = summary.mean_milliseconds
+    return row
+
+
+def test_fig9a_topk_vs_k(primary_suite, benchmark):
+    suite = primary_suite
+    generator = suite.workload(seed=91)
+    workload = generator.queries(DEFAULT_TERMS, NUM_VECTORS, VERTICES_PER_VECTOR)
+    methods = _methods(suite)
+
+    series = {k: _sweep(methods, workload, k) for k in K_VALUES}
+    rows = [
+        [k] + [f"{series[k][m]:.3f}" for m in methods] for k in K_VALUES
+    ]
+    print_table(
+        f"Fig 9(a) — top-k query time (ms) vs k ({suite.dataset.name}, terms=2)",
+        ["k"] + list(methods),
+        rows,
+    )
+    save_result("fig9a_topk_vs_k", {str(k): series[k] for k in K_VALUES})
+    print(
+        log_series_chart(
+            "Fig 9(a) rendered (log-scale ms, like the paper's figure):",
+            K_VALUES,
+            {name: [series[k][name] for k in K_VALUES] for name in methods},
+        )
+    )
+
+    for k in K_VALUES:
+        # At k=1 both K-SPIN variants are heap-dominated (only a couple
+        # of exact distances each) and can tie; from k=5 the oracle cost
+        # separates them strictly.
+        if k >= 5:
+            assert series[k]["KS-PHL"] < series[k]["KS-CH"]
+        else:
+            assert series[k]["KS-PHL"] < 1.25 * series[k]["KS-CH"]
+        assert series[k]["KS-PHL"] < series[k]["G-tree"]
+        assert series[k]["KS-PHL"] < series[k]["ROAD"]
+    # KS-CH is competitive with G-tree at the default setting.  (The
+    # paper has KS-CH several times faster; in this substrate G-tree's
+    # matrices are numpy-vectorised while CH queries are pure Python,
+    # which flattens the gap — see EXPERIMENTS.md.)
+    assert series[DEFAULT_K]["KS-CH"] < 3 * series[DEFAULT_K]["G-tree"]
+
+    query = workload[0]
+    benchmark.pedantic(
+        lambda: suite.ks_phl.top_k(query.vertex, DEFAULT_K, list(query.keywords)),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_fig9b_topk_vs_terms(primary_suite, benchmark):
+    suite = primary_suite
+    generator = suite.workload(seed=92)
+    methods = _methods(suite)
+
+    series = {}
+    for terms in TERM_VALUES:
+        workload = generator.queries(terms, NUM_VECTORS, VERTICES_PER_VECTOR)
+        series[terms] = _sweep(methods, workload, DEFAULT_K)
+    rows = [
+        [terms] + [f"{series[terms][m]:.3f}" for m in methods]
+        for terms in TERM_VALUES
+    ]
+    print_table(
+        f"Fig 9(b) — top-k query time (ms) vs #terms ({suite.dataset.name}, k=10)",
+        ["terms"] + list(methods),
+        rows,
+    )
+    save_result("fig9b_topk_vs_terms", {str(t): series[t] for t in TERM_VALUES})
+
+    for terms in TERM_VALUES:
+        assert series[terms]["KS-PHL"] < series[terms]["G-tree"]
+        assert series[terms]["KS-PHL"] < series[terms]["ROAD"]
+
+    workload = generator.queries(DEFAULT_TERMS, 1, 1)
+    benchmark.pedantic(
+        lambda: suite.ks_ch.top_k(
+            workload[0].vertex, DEFAULT_K, list(workload[0].keywords)
+        ),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_fig9_ablation_pseudo_lower_bound(primary_suite, benchmark):
+    """Ablation: Algorithm 2 pseudo bounds vs the valid all-unseen bound.
+
+    Shape: pseudo bounds never cost more exact distance computations
+    and are at least as fast on average (§4.2, Lemma 1)."""
+    suite = primary_suite
+    generator = suite.workload(seed=93)
+    workload = generator.queries(3, NUM_VECTORS, VERTICES_PER_VECTOR)
+
+    costs = {"pseudo": 0, "valid": 0}
+    times = {}
+    for label, flag in (("pseudo", True), ("valid", False)):
+        summary = time_queries(
+            [
+                (
+                    lambda q=q: suite.ks_ch.top_k(
+                        q.vertex, DEFAULT_K, list(q.keywords),
+                        use_pseudo_lower_bound=flag,
+                    )
+                )
+                for q in workload
+            ]
+        )
+        times[label] = summary.mean_milliseconds
+    for q in workload:
+        suite.ks_ch.top_k(q.vertex, DEFAULT_K, list(q.keywords), use_pseudo_lower_bound=True)
+        costs["pseudo"] += suite.ks_ch.last_stats.distance_computations
+        suite.ks_ch.top_k(q.vertex, DEFAULT_K, list(q.keywords), use_pseudo_lower_bound=False)
+        costs["valid"] += suite.ks_ch.last_stats.distance_computations
+
+    print_table(
+        "Fig 9 ablation — pseudo vs valid lower-bound scores (KS-CH, k=10, terms=3)",
+        ["variant", "mean ms/query", "total exact distances"],
+        [
+            ["pseudo LB (Alg 2)", f"{times['pseudo']:.3f}", costs["pseudo"]],
+            ["valid LB", f"{times['valid']:.3f}", costs["valid"]],
+        ],
+    )
+    save_result("fig9_ablation_pseudo_lb", {"times_ms": times, "distances": costs})
+    assert costs["pseudo"] <= costs["valid"]
+
+    query = workload[0]
+    benchmark.pedantic(
+        lambda: suite.ks_ch.top_k(query.vertex, DEFAULT_K, list(query.keywords)),
+        rounds=5,
+        iterations=1,
+    )

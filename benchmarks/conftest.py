@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Method suites are expensive to build (tens of seconds for the largest
+rung), so they are constructed once per pytest session through the
+process-level cache in :mod:`repro.bench.harness` and shared by every
+benchmark module.
+"""
+
+import pytest
+
+from repro.bench import build_methods, get_dataset
+
+#: The dataset standing in for the paper's default (US) in the main
+#: query-performance figures (9, 10, 11, 13, 15, 16, Table 1).
+PRIMARY_DATASET = "US-S"
+
+#: The dataset standing in for Florida in the rho / update studies
+#: (Figures 6 and 8).
+RHO_DATASET = "FL-S"
+
+
+@pytest.fixture(scope="session")
+def primary_suite():
+    """Full method suite on the largest ladder rung."""
+    return build_methods(PRIMARY_DATASET)
+
+
+@pytest.fixture(scope="session")
+def rho_dataset():
+    """The Florida-analogue dataset used by the rho and update studies."""
+    return get_dataset(RHO_DATASET)

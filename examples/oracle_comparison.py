@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Oracle plug-and-play: the paper's flexibility claim, demonstrated.
+
+K-SPIN decouples keyword indexing from network-distance indexing, so
+*any* exact distance technique slots in (paper §1.2, "Flexibility").
+This example builds one keyword-separated index and runs the identical
+workload through four different Network Distance Modules — Dijkstra,
+bidirectional Dijkstra, Contraction Hierarchies, and hub labeling —
+showing identical results with very different speed/space trade-offs.
+
+Run:  python examples/oracle_comparison.py
+"""
+
+import time
+
+from repro.bench import megabytes
+from repro.core import KSpin, results_equivalent
+from repro.datasets import WorkloadGenerator, load_dataset
+from repro.distance import (
+    BidirectionalDijkstraOracle,
+    ContractionHierarchy,
+    DijkstraOracle,
+    GTree,
+    HubLabeling,
+)
+from repro.lowerbound import AltLowerBounder
+
+
+def main() -> None:
+    dataset = load_dataset("ME-S")
+    graph, keywords = dataset.graph, dataset.keywords
+    print(f"Dataset {dataset.name}: {graph.num_vertices} vertices, "
+          f"{keywords.num_objects} POIs, {keywords.num_keywords} keywords")
+
+    print("\nBuilding distance oracles...")
+    oracles = {}
+    timings = {}
+    start = time.perf_counter()
+    oracles["Dijkstra"] = DijkstraOracle(graph)
+    timings["Dijkstra"] = time.perf_counter() - start
+    start = time.perf_counter()
+    oracles["BiDijkstra"] = BidirectionalDijkstraOracle(graph)
+    timings["BiDijkstra"] = time.perf_counter() - start
+    start = time.perf_counter()
+    ch = ContractionHierarchy(graph)
+    oracles["CH"] = ch
+    timings["CH"] = time.perf_counter() - start
+    start = time.perf_counter()
+    importance = sorted(graph.vertices(), key=lambda v: -ch.rank[v])
+    oracles["PHL (hub labels)"] = HubLabeling(graph, order=importance)
+    timings["PHL (hub labels)"] = time.perf_counter() - start
+    start = time.perf_counter()
+    oracles["G-tree"] = GTree(graph, leaf_size=64)
+    timings["G-tree"] = time.perf_counter() - start
+
+    alt = AltLowerBounder(graph, num_landmarks=16)
+    variants = {
+        name: KSpin(graph, keywords, oracle=oracle, lower_bounder=alt)
+        for name, oracle in oracles.items()
+    }
+
+    generator = WorkloadGenerator(graph, keywords, seed=3)
+    workload = generator.queries(num_terms=2, num_vectors=8, vertices_per_vector=6)
+    print(f"Workload: {len(workload)} top-10 queries, 2 keywords each\n")
+
+    baseline_results = None
+    header = f"{'oracle':>18s}  {'build':>7s}  {'index':>9s}  {'ms/query':>9s}  {'qps':>7s}"
+    print(header)
+    print("-" * len(header))
+    for name, kspin in variants.items():
+        start = time.perf_counter()
+        results = [
+            kspin.top_k(query.vertex, 10, list(query.keywords))
+            for query in workload
+        ]
+        elapsed = time.perf_counter() - start
+        if baseline_results is None:
+            baseline_results = results
+        else:
+            for mine, reference in zip(results, baseline_results):
+                assert results_equivalent(mine, reference), name
+        print(f"{name:>18s}  {timings[name]:6.1f}s  "
+              f"{megabytes(oracles[name].memory_bytes()):7.2f}MB  "
+              f"{1000 * elapsed / len(workload):9.3f}  "
+              f"{len(workload) / elapsed:7.0f}")
+    print("\nAll variants returned identical results — the Network Distance "
+          "Module is a pure plug-in, exactly as the paper claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Competing methods: keyword-aggregated baselines from the paper's §7."""
+
+from repro.baselines.expansion import NetworkExpansion
+from repro.baselines.fsfbs import FsFbs
+from repro.baselines.gtree_sk import GTreeSpatialKeyword
+from repro.baselines.road import Road, Rnet
+
+__all__ = [
+    "FsFbs",
+    "GTreeSpatialKeyword",
+    "NetworkExpansion",
+    "Rnet",
+    "Road",
+]

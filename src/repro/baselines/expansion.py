@@ -1,0 +1,99 @@
+"""Network expansion baseline: index-free Dijkstra with keyword filters.
+
+The classic approach the paper excludes from its main comparison for
+being "orders of magnitude slower" (§7.1) — included here both as a
+correctness oracle and so the benchmark tables can verify that claim.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+from repro.graph.dijkstra import network_expansion_knn
+from repro.graph.road_network import RoadNetwork
+from repro.text.documents import KeywordDataset
+from repro.text.relevance import RelevanceModel
+
+INFINITY = math.inf
+
+
+class NetworkExpansion:
+    """Index-free spatial keyword queries by incremental expansion."""
+
+    name = "Expansion"
+
+    def __init__(self, graph: RoadNetwork, dataset: KeywordDataset) -> None:
+        self._graph = graph
+        self._dataset = dataset
+        self._relevance = RelevanceModel(dataset)
+
+    def bknn(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Boolean kNN by expanding until k matches settle."""
+        keywords = list(dict.fromkeys(keywords))
+        if k < 1:
+            raise ValueError("k must be positive")
+        if not keywords:
+            raise ValueError("need at least one query keyword")
+        matcher = (
+            self._dataset.contains_all if conjunctive else self._dataset.contains_any
+        )
+        return network_expansion_knn(
+            self._graph, query, k, lambda v: matcher(v, keywords)
+        )
+
+    def top_k(
+        self, query: int, k: int, keywords: Sequence[str]
+    ) -> list[tuple[int, float]]:
+        """Top-k by expansion with the ``d / TR_max`` stopping rule."""
+        keywords = list(dict.fromkeys(keywords))
+        if k < 1:
+            raise ValueError("k must be positive")
+        if not keywords:
+            raise ValueError("need at least one query keyword")
+        query_impacts = self._relevance.query_impacts(keywords)
+        ceiling = self._relevance.max_textual_relevance(keywords, query_impacts)
+        if ceiling <= 0.0:
+            return []
+        distances = [INFINITY] * self._graph.num_vertices
+        distances[query] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, query)]
+        results: list[tuple[float, int]] = []  # max-heap by negation
+
+        def threshold() -> float:
+            return -results[0][0] if len(results) == k else INFINITY
+
+        neighbors = self._graph.neighbors
+        while heap:
+            dist_v, v = heapq.heappop(heap)
+            if dist_v > distances[v]:
+                continue
+            if dist_v / ceiling >= threshold():
+                break
+            relevance = self._relevance.textual_relevance(
+                keywords, v, query_impacts
+            )
+            if relevance > 0.0:
+                score = dist_v / relevance
+                if score < threshold():
+                    if len(results) == k:
+                        heapq.heapreplace(results, (-score, v))
+                    else:
+                        heapq.heappush(results, (-score, v))
+            for u, w in neighbors(v):
+                candidate = dist_v + w
+                if candidate < distances[u]:
+                    distances[u] = candidate
+                    heapq.heappush(heap, (candidate, u))
+        ordered = sorted((-negative, o) for negative, o in results)
+        return [(o, s) for s, o in ordered]
+
+    def memory_bytes(self) -> int:
+        return 0  # uses only the input graph and dataset

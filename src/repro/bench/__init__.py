@@ -1,0 +1,29 @@
+"""Benchmark harness: method suites, timing, tables, result recording."""
+
+from repro.bench.charts import bar_chart, log_series_chart
+from repro.bench.harness import (
+    FSFBS_DATASETS,
+    MethodSuite,
+    build_methods,
+    get_dataset,
+    print_table,
+    reset_suite_cache,
+    save_result,
+)
+from repro.bench.metrics import TimingSummary, megabytes, time_batch, time_queries
+
+__all__ = [
+    "FSFBS_DATASETS",
+    "MethodSuite",
+    "bar_chart",
+    "log_series_chart",
+    "TimingSummary",
+    "build_methods",
+    "get_dataset",
+    "megabytes",
+    "print_table",
+    "reset_suite_cache",
+    "save_result",
+    "time_batch",
+    "time_queries",
+]

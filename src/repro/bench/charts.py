@@ -1,0 +1,107 @@
+"""ASCII chart rendering for benchmark figure output.
+
+Benchmarks print paper-figure *series* as tables; for quick visual
+inspection in a terminal this module renders the same series as
+horizontal bar charts and log-scale multi-series line summaries —
+useful because the repository ships without plotting libraries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labeled values as a horizontal ASCII bar chart.
+
+    >>> print(bar_chart("t", {"a": 2.0, "b": 1.0}, width=4))  # doctest: +SKIP
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError("width must be positive")
+    longest_label = max(len(label) for label in values)
+    biggest = max(values.values())
+    lines = [f"{title}"]
+    for label, value in values.items():
+        if biggest > 0:
+            bar = "#" * max(1 if value > 0 else 0, round(width * value / biggest))
+        else:
+            bar = ""
+        rendered = f"{value:.3g}{unit}"
+        lines.append(f"  {label.ljust(longest_label)} |{bar.ljust(width)} {rendered}")
+    return "\n".join(lines)
+
+
+def log_series_chart(
+    title: str,
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render multiple positive series on a shared log-scale y axis.
+
+    Mirrors the paper's log-scale query-time figures: each series gets a
+    marker character; columns correspond to x positions.
+    """
+    if not series:
+        raise ValueError("nothing to chart")
+    if height < 3 or width < len(x_labels):
+        raise ValueError("chart too small for the data")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must have one value per x label")
+    positives = [
+        value for values in series.values() for value in values if value > 0
+    ]
+    if not positives:
+        raise ValueError("log chart needs positive values")
+    low = math.log10(min(positives))
+    high = math.log10(max(positives))
+    if high - low < 1e-12:
+        high = low + 1.0
+    markers = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    column_step = width // max(1, len(x_labels))
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for x_index, value in enumerate(values):
+            if value <= 0:
+                continue
+            rank = (math.log10(value) - low) / (high - low)
+            row = (height - 1) - round(rank * (height - 1))
+            column = min(width - 1, x_index * column_step + column_step // 2)
+            grid[row][column] = marker
+    lines = [title]
+    top_value = 10**high
+    bottom_value = 10**low
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_value:8.3g} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom_value:8.3g} |"
+        else:
+            prefix = "         |"
+        lines.append(prefix + "".join(row))
+    axis = "         +" + "-" * width
+    lines.append(axis)
+    label_row = [" "] * width
+    for x_index, label in enumerate(x_labels):
+        text = str(label)
+        column = min(width - len(text), x_index * column_step + column_step // 2)
+        for offset, ch in enumerate(text):
+            if 0 <= column + offset < width:
+                label_row[column + offset] = ch
+    lines.append("          " + "".join(label_row))
+    legend = "  legend: " + "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""The benchmark harness: method suites, tables, and result recording.
+
+Every benchmark in ``benchmarks/`` builds its competitors through
+:func:`build_methods`, which constructs and caches (per process) the
+full method suite for a ladder dataset:
+
+* **KS-CH / KS-PHL / KS-GT** — K-SPIN with Contraction Hierarchies,
+  hub labeling ("PHL"), and G-tree distance oracles (shared ALT index);
+* **G-tree / Gtree-Opt** — the keyword-aggregated baselines;
+* **ROAD** and **FS-FBS** — the remaining competitors (FS-FBS only on
+  the two smallest datasets, matching the paper's observation that its
+  index cannot be built at scale — enforced by a build-cost guard);
+* **Expansion** — the index-free Dijkstra reference.
+
+Printing helpers emit the paper-style rows/series, and
+:func:`save_result` records every experiment's payload as JSON under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.expansion import NetworkExpansion
+from repro.baselines.fsfbs import FsFbs
+from repro.baselines.gtree_sk import GTreeSpatialKeyword
+from repro.baselines.road import Road
+from repro.core.framework import KSpin
+from repro.datasets.synthetic import SyntheticDataset, load_dataset
+from repro.datasets.workloads import WorkloadGenerator
+from repro.distance.ch import ContractionHierarchy
+from repro.distance.dijkstra_oracle import DijkstraOracle
+from repro.distance.gtree import GTree
+from repro.distance.hub_labeling import HubLabeling
+from repro.lowerbound.alt import AltLowerBounder
+
+#: FS-FBS is only constructed on these rungs (paper: DE and ME only).
+FSFBS_DATASETS = ("DE-S", "ME-S")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+@dataclass
+class MethodSuite:
+    """Every competitor built over one dataset, plus build accounting."""
+
+    dataset: SyntheticDataset
+    alt: AltLowerBounder
+    ch: ContractionHierarchy
+    hub: HubLabeling
+    gtree: GTree
+    ks_ch: KSpin
+    ks_phl: KSpin
+    ks_gt: KSpin
+    gtree_sk: GTreeSpatialKeyword
+    gtree_opt: GTreeSpatialKeyword
+    road: Road
+    expansion: NetworkExpansion
+    fsfbs: FsFbs | None
+    build_seconds: dict[str, float] = field(default_factory=dict)
+
+    def workload(self, seed: int = 0) -> WorkloadGenerator:
+        """A workload generator over this suite's dataset."""
+        return WorkloadGenerator(
+            self.dataset.graph, self.dataset.keywords, seed=seed
+        )
+
+    def index_sizes(self) -> dict[str, int]:
+        """Index footprint per method, in bytes (Figure 14(a) rows)."""
+        kspin_core = self.ks_ch.memory_bytes()  # keyword index + ALT
+        return {
+            "Input": self.dataset.graph.memory_bytes()
+            + self.dataset.keywords.memory_bytes(),
+            "KS-CH": kspin_core + self.ch.memory_bytes(),
+            "KS-PHL": kspin_core + self.hub.memory_bytes(),
+            "KS-GT": kspin_core + self.gtree.memory_bytes(),
+            "G-tree": self.gtree_sk.memory_bytes(),
+            "ROAD": self.road.memory_bytes(),
+            "FS-FBS": self.fsfbs.memory_bytes() if self.fsfbs else 0,
+        }
+
+
+_SUITES: dict[str, MethodSuite] = {}
+_DATASETS: dict[str, SyntheticDataset] = {}
+
+
+def get_dataset(name: str) -> SyntheticDataset:
+    """Process-cached dataset generation."""
+    if name not in _DATASETS:
+        _DATASETS[name] = load_dataset(name)
+    return _DATASETS[name]
+
+
+def build_methods(dataset_name: str, rho: int = 5) -> MethodSuite:
+    """Build (or fetch from cache) the full method suite for a dataset."""
+    if dataset_name in _SUITES:
+        return _SUITES[dataset_name]
+    dataset = get_dataset(dataset_name)
+    graph, keywords = dataset.graph, dataset.keywords
+    build_seconds: dict[str, float] = {}
+
+    def timed(label: str, make):
+        start = time.perf_counter()
+        value = make()
+        build_seconds[label] = time.perf_counter() - start
+        return value
+
+    alt = timed("ALT", lambda: AltLowerBounder(graph, num_landmarks=16))
+    ch = timed("CH", lambda: ContractionHierarchy(graph))
+    importance = sorted(graph.vertices(), key=lambda v: -ch.rank[v])
+    hub = timed("PHL", lambda: HubLabeling(graph, order=importance))
+    gtree = timed("G-tree index", lambda: GTree(graph, leaf_size=64))
+    ks_ch = timed(
+        "KS-CH",
+        lambda: KSpin(graph, keywords, oracle=ch, lower_bounder=alt, rho=rho),
+    )
+    # The keyword-separated index is oracle-independent; share it so the
+    # suite builds once (exactly the paper's flexibility claim).
+    ks_phl = _clone_kspin(ks_ch, hub)
+    ks_gt = _clone_kspin(ks_ch, gtree)
+    build_seconds["KS-PHL"] = build_seconds["KS-CH"]
+    build_seconds["KS-GT"] = build_seconds["KS-CH"]
+    gtree_sk = timed(
+        "G-tree SK", lambda: GTreeSpatialKeyword(graph, keywords, gtree=gtree)
+    )
+    gtree_opt = timed(
+        "Gtree-Opt",
+        lambda: GTreeSpatialKeyword(graph, keywords, gtree=gtree, optimized=True),
+    )
+    road = timed("ROAD", lambda: Road(graph, keywords))
+    expansion = NetworkExpansion(graph, keywords)
+    fsfbs = None
+    if dataset_name in FSFBS_DATASETS:
+        fsfbs = timed(
+            "FS-FBS", lambda: FsFbs(graph, keywords, labeling=hub)
+        )
+    suite = MethodSuite(
+        dataset=dataset,
+        alt=alt,
+        ch=ch,
+        hub=hub,
+        gtree=gtree,
+        ks_ch=ks_ch,
+        ks_phl=ks_phl,
+        ks_gt=ks_gt,
+        gtree_sk=gtree_sk,
+        gtree_opt=gtree_opt,
+        road=road,
+        expansion=expansion,
+        fsfbs=fsfbs,
+        build_seconds=build_seconds,
+    )
+    _SUITES[dataset_name] = suite
+    return suite
+
+
+def _clone_kspin(base: KSpin, oracle) -> KSpin:
+    """A KSpin sharing ``base``'s keyword index but a different oracle.
+
+    Avoids rebuilding identical keyword-separated indexes per variant.
+    """
+    from repro.core.heap_generator import HeapGenerator
+    from repro.core.query_processor import QueryProcessor
+
+    clone = KSpin.__new__(KSpin)
+    clone.graph = base.graph
+    clone.dataset = base.dataset
+    clone.oracle = oracle
+    clone.lower_bounder = base.lower_bounder
+    clone.relevance = base.relevance
+    clone.index = base.index
+    clone.heap_generator = HeapGenerator(base.lower_bounder)
+    clone.processor = QueryProcessor(
+        base.graph, base.index, base.relevance, oracle, clone.heap_generator
+    )
+    return clone
+
+
+def reset_suite_cache() -> None:
+    """Drop cached suites (tests use this; benchmarks keep the cache)."""
+    _SUITES.clear()
+    _DATASETS.clear()
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print an aligned, paper-style table."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rendered:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def save_result(experiment_id: str, payload: dict) -> str:
+    """Record an experiment's data as JSON for EXPERIMENTS.md."""
+    directory = os.path.abspath(RESULTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{experiment_id}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

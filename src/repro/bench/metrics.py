@@ -1,0 +1,68 @@
+"""Measurement primitives shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+@dataclass
+class TimingSummary:
+    """Aggregate of a timed batch of queries."""
+
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    median_seconds: float
+
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput — Table 1's headline metric."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return self.count / self.total_seconds
+
+    @property
+    def mean_milliseconds(self) -> float:
+        return self.mean_seconds * 1000.0
+
+
+def time_batch(run: Callable[[], object], repetitions: int) -> TimingSummary:
+    """Time ``repetitions`` invocations of a no-arg callable."""
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return TimingSummary(
+        count=repetitions,
+        total_seconds=sum(samples),
+        mean_seconds=statistics.fmean(samples),
+        median_seconds=statistics.median(samples),
+    )
+
+
+def time_queries(runs: Iterable[Callable[[], object]]) -> TimingSummary:
+    """Time a heterogeneous batch (one callable per query)."""
+    samples = []
+    for run in runs:
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    if not samples:
+        raise ValueError("no queries to time")
+    return TimingSummary(
+        count=len(samples),
+        total_seconds=sum(samples),
+        mean_seconds=statistics.fmean(samples),
+        median_seconds=statistics.median(samples),
+    )
+
+
+def megabytes(num_bytes: int) -> float:
+    """Bytes -> MB with two decimals of useful precision."""
+    return num_bytes / (1024.0 * 1024.0)

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``
+    Print the dataset ladder's Table-2 statistics.
+``build``
+    Build a K-SPIN index over a ladder dataset (or DIMACS files) and
+    save it to disk.
+``query``
+    Load a saved index and answer a BkNN or top-k query.
+``demo``
+    Run the Figure-1 quickstart end to end.
+
+Examples
+--------
+::
+
+    python -m repro stats
+    python -m repro build --dataset FL-S --oracle ch --out /tmp/fl.kspin
+    python -m repro query --index /tmp/fl.kspin --vertex 100 \
+        --keywords kw0001 kw0002 --kind topk --k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bench import print_table
+    from repro.datasets import statistics_table
+
+    rows = statistics_table()
+    print_table(
+        "Dataset ladder (Table 2 analogue)",
+        ["Region", "|V|", "|E|", "|O|", "|doc(V)|", "|W|"],
+        [
+            [r["Region"], r["|V|"], r["|E|"], r["|O|"], r["|doc(V)|"], r["|W|"]]
+            for r in rows
+        ],
+    )
+    return 0
+
+
+def _build_oracle(name: str, graph):
+    from repro.distance import (
+        BidirectionalDijkstraOracle,
+        ContractionHierarchy,
+        DijkstraOracle,
+        GTree,
+        HubLabeling,
+    )
+
+    if name == "dijkstra":
+        return DijkstraOracle(graph)
+    if name == "bidijkstra":
+        return BidirectionalDijkstraOracle(graph)
+    if name == "ch":
+        return ContractionHierarchy(graph)
+    if name == "phl":
+        ch = ContractionHierarchy(graph)
+        order = sorted(graph.vertices(), key=lambda v: -ch.rank[v])
+        return HubLabeling(graph, order=order)
+    if name == "gtree":
+        return GTree(graph)
+    raise ValueError(f"unknown oracle {name!r}")
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core import KSpin
+    from repro.lowerbound import AltLowerBounder
+    from repro.persist import save_kspin
+
+    if args.gr:
+        from repro.graph import read_dimacs
+        from repro.datasets.synthetic import generate_dataset  # noqa: F401
+
+        print(f"Loading DIMACS graph from {args.gr} ...")
+        graph = read_dimacs(args.gr, args.co)
+        if not args.documents:
+            print("error: DIMACS input needs --documents (a Python dict "
+                  "literal file mapping vertex -> keyword list)", file=sys.stderr)
+            return 2
+        import ast
+
+        with open(args.documents) as handle:
+            documents = ast.literal_eval(handle.read())
+        from repro.text import KeywordDataset
+
+        keywords = KeywordDataset(documents)
+    else:
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(args.dataset)
+        graph, keywords = dataset.graph, dataset.keywords
+    print(f"Graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+          f"{keywords.num_objects} objects, {keywords.num_keywords} keywords")
+    start = time.perf_counter()
+    oracle = _build_oracle(args.oracle, graph)
+    kspin = KSpin(
+        graph,
+        keywords,
+        oracle=oracle,
+        lower_bounder=AltLowerBounder(graph, num_landmarks=args.landmarks),
+        rho=args.rho,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - start
+    written = save_kspin(kspin, args.out)
+    print(f"Built in {elapsed:.1f}s; saved {written / 2**20:.2f} MB "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.persist import load_kspin
+
+    kspin = load_kspin(args.index)
+    keywords = list(args.keywords)
+    start = time.perf_counter()
+    if args.kind == "topk":
+        results = kspin.top_k(args.vertex, args.k, keywords)
+        header = "score"
+    elif args.kind == "bknn":
+        results = kspin.bknn(args.vertex, args.k, keywords)
+        header = "distance"
+    else:
+        results = kspin.bknn(args.vertex, args.k, keywords, conjunctive=True)
+        header = "distance"
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"{args.kind} query from vertex {args.vertex} for {keywords} "
+          f"({elapsed:.2f} ms):")
+    if not results:
+        print("  no matching objects")
+    for rank, (obj, value) in enumerate(results, start=1):
+        doc = sorted(kspin.index.document(obj))
+        print(f"  #{rank}: vertex {obj}  {header}={value:.4f}  doc={doc[:6]}")
+    stats = kspin.last_stats
+    print(f"  cost: {stats.distance_computations} exact distances, "
+          f"{stats.lower_bound_computations} lower bounds")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """A self-contained run of the paper's Figure-1 example queries."""
+    from repro.core import KSpin
+    from repro.distance import DijkstraOracle
+    from repro.graph import RoadNetwork
+    from repro.lowerbound import AltLowerBounder
+    from repro.text import KeywordDataset
+
+    graph = RoadNetwork(16)
+    for r in range(4):
+        for c in range(4):
+            v = r * 4 + c
+            graph.set_coordinates(v, c, r)
+            if c + 1 < 4:
+                graph.add_edge(v, v + 1, 1.0)
+            if r + 1 < 4:
+                graph.add_edge(v, v + 4, 1.0)
+    dataset = KeywordDataset(
+        {
+            5: ["italian", "restaurant"],
+            1: ["takeaway", "thai"],
+            10: ["grocer"],
+            11: ["bakery", "grocer"],
+            6: ["thai", "restaurant"],
+            2: ["thai", "restaurant"],
+            14: ["thai", "grocer"],
+            4: ["italian", "takeaway", "restaurant"],
+        }
+    )
+    kspin = KSpin(
+        graph,
+        dataset,
+        oracle=DijkstraOracle(graph),
+        lower_bounder=AltLowerBounder(graph, num_landmarks=4),
+        rho=3,
+    )
+    print("K-SPIN demo on the paper's Figure-1 world (q = vertex 0)")
+    disjunctive = kspin.bknn(0, 1, ["restaurant", "takeaway"])
+    print(f"  1NN for restaurant OR takeaway: {disjunctive}")
+    conjunctive = kspin.bknn(0, 1, ["thai", "restaurant"], conjunctive=True)
+    print(f"  1NN for thai AND restaurant:    {conjunctive}")
+    top = kspin.top_k(0, 3, ["thai", "restaurant"])
+    print(f"  top-3 by weighted distance:     {top}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="K-SPIN: spatial keyword queries on road networks",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("stats", help="print dataset ladder statistics")
+
+    build = commands.add_parser("build", help="build and save a K-SPIN index")
+    build.add_argument("--dataset", default="ME-S",
+                       help="ladder dataset name (default ME-S)")
+    build.add_argument("--gr", help="DIMACS .gr file (overrides --dataset)")
+    build.add_argument("--co", help="DIMACS .co coordinates file")
+    build.add_argument("--documents",
+                       help="file holding a dict literal: vertex -> keywords")
+    build.add_argument("--oracle", default="ch",
+                       choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"])
+    build.add_argument("--rho", type=int, default=5)
+    build.add_argument("--landmarks", type=int, default=16)
+    build.add_argument("--workers", type=int, default=1)
+    build.add_argument("--out", required=True, help="output index path")
+
+    query = commands.add_parser("query", help="query a saved index")
+    query.add_argument("--index", required=True)
+    query.add_argument("--vertex", type=int, required=True)
+    query.add_argument("--keywords", nargs="+", required=True)
+    query.add_argument("--kind", default="bknn",
+                       choices=["bknn", "bknn-and", "topk"])
+    query.add_argument("--k", type=int, default=10)
+
+    commands.add_parser("demo", help="run the Figure-1 quickstart")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "stats": _cmd_stats,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

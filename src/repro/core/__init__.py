@@ -1,0 +1,55 @@
+"""K-SPIN core: the framework facade and its four modules."""
+
+from repro.core.boolean_query import (
+    BooleanExpression,
+    boolean_bknn,
+    boolean_top_k,
+    brute_force_boolean_bknn,
+    brute_force_boolean_top_k,
+)
+from repro.core.continuous import ResultSegment, continuous_bknn, route_between
+from repro.core.cost_model import CostModel, KappaReport, fit_cost_model, measure_kappa, model_accuracy
+from repro.core.framework import KSpin
+from repro.core.heap_generator import HeapGenerator, InvertedHeap
+from repro.core.keyword_index import KeywordSeparatedIndex
+from repro.core.query_processor import QueryProcessor, QueryStats
+from repro.core.reference import (
+    brute_force_bknn,
+    brute_force_top_k,
+    results_equivalent,
+)
+from repro.core.updates import (
+    BackgroundRebuilder,
+    UpdateCosts,
+    apply_lazy_inserts,
+    pick_update_keywords,
+)
+
+__all__ = [
+    "BackgroundRebuilder",
+    "BooleanExpression",
+    "CostModel",
+    "KappaReport",
+    "ResultSegment",
+    "HeapGenerator",
+    "boolean_bknn",
+    "boolean_top_k",
+    "brute_force_boolean_bknn",
+    "brute_force_boolean_top_k",
+    "InvertedHeap",
+    "KSpin",
+    "KeywordSeparatedIndex",
+    "QueryProcessor",
+    "QueryStats",
+    "UpdateCosts",
+    "apply_lazy_inserts",
+    "brute_force_bknn",
+    "brute_force_top_k",
+    "continuous_bknn",
+    "fit_cost_model",
+    "measure_kappa",
+    "model_accuracy",
+    "route_between",
+    "pick_update_keywords",
+    "results_equivalent",
+]

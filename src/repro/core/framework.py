@@ -1,0 +1,208 @@
+"""The K-SPIN framework facade (paper Figure 2).
+
+:class:`KSpin` wires the four modules together:
+
+1. **Lower Bounding Module** — any :class:`LowerBounder` (default: ALT).
+2. **Network Distance Module** — any :class:`DistanceOracle`; plugging
+   in CH, PHL, or G-tree reproduces the paper's KS-CH / KS-PHL / KS-GT
+   variants.
+3. **Heap Generator** — on-demand inverted heaps over the
+   keyword-separated index.
+4. **Query Processor** — BkNN and top-k algorithms.
+
+Typical use::
+
+    from repro import KSpin
+    from repro.distance import ContractionHierarchy
+
+    kspin = KSpin(graph, dataset, oracle=ContractionHierarchy(graph))
+    kspin.bknn(query_vertex, k=10, keywords=["thai", "restaurant"])
+    kspin.top_k(query_vertex, k=10, keywords=["hotel", "parking"])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.heap_generator import HeapGenerator
+from repro.core.keyword_index import KeywordSeparatedIndex
+from repro.core.query_processor import QueryProcessor, QueryStats
+from repro.distance.base import DistanceOracle
+from repro.graph.road_network import RoadNetwork
+from repro.lowerbound.alt import AltLowerBounder
+from repro.lowerbound.base import LowerBounder
+from repro.text.documents import KeywordDataset
+from repro.text.relevance import RelevanceModel
+
+
+class KSpin:
+    """Keyword Separated Indexing framework.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    dataset:
+        Object documents (POIs with keywords).
+    oracle:
+        The Network Distance Module.  Any exact technique works; the
+        paper's variants are CH (KS-CH), hub labeling (KS-PHL), and
+        G-tree (KS-GT).
+    lower_bounder:
+        The Lower Bounding Module; defaults to a 16-landmark ALT index.
+    rho:
+        APX-NVD approximation parameter (paper default 5).
+    workers:
+        Processes for parallel index construction.
+    rebuild_threshold:
+        Lazy updates per keyword before :meth:`rebuild_pending` refreshes
+        its diagram.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        dataset: KeywordDataset,
+        oracle: DistanceOracle,
+        lower_bounder: LowerBounder | None = None,
+        rho: int = 5,
+        workers: int = 1,
+        rebuild_threshold: int = 50,
+    ) -> None:
+        self.graph = graph
+        self.dataset = dataset
+        self.oracle = oracle
+        self.lower_bounder = lower_bounder or AltLowerBounder(graph)
+        self.relevance = RelevanceModel(dataset)
+        self.index = KeywordSeparatedIndex(
+            graph,
+            dataset,
+            rho=rho,
+            workers=workers,
+            rebuild_threshold=rebuild_threshold,
+        )
+        self.heap_generator = HeapGenerator(self.lower_bounder)
+        self.processor = QueryProcessor(
+            graph, self.index, self.relevance, oracle, self.heap_generator
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def bknn(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Boolean kNN: the ``k`` nearest objects matching the criterion.
+
+        Returns ``[(object, network_distance)]`` in ascending distance
+        order; disjunctive (any keyword) unless ``conjunctive=True``.
+        """
+        return self.processor.bknn(query, k, keywords, conjunctive=conjunctive)
+
+    def top_k(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        use_pseudo_lower_bound: bool = True,
+    ) -> list[tuple[int, float]]:
+        """Top-k spatial keyword query by weighted distance (Eq. 1).
+
+        Returns ``[(object, score)]`` with the smallest
+        ``d(q,o)/TR(psi,o)`` scores, ascending.
+        """
+        return self.processor.top_k(
+            query, k, keywords, use_pseudo_lower_bound=use_pseudo_lower_bound
+        )
+
+    def boolean_bknn(
+        self, query: int, k: int, groups: Sequence[Sequence[str]]
+    ) -> list[tuple[int, float]]:
+        """BkNN under a mixed AND/OR expression in CNF (paper §2 remark).
+
+        ``groups`` is an AND of OR-groups, e.g.
+        ``[["thai"], ["takeaway", "restaurant"]]`` means
+        *thai AND (takeaway OR restaurant)*.
+        """
+        from repro.core.boolean_query import BooleanExpression, boolean_bknn
+
+        return boolean_bknn(
+            self.processor, query, k, BooleanExpression(groups)
+        )
+
+    def boolean_top_k(
+        self, query: int, k: int, groups: Sequence[Sequence[str]]
+    ) -> list[tuple[int, float]]:
+        """Top-k by weighted distance among objects matching a CNF filter.
+
+        Ranks with ``d(q,o)/TR(psi,o)`` over all keywords the expression
+        mentions, restricted to objects satisfying the AND of OR-groups.
+        """
+        from repro.core.boolean_query import BooleanExpression, boolean_top_k
+
+        return boolean_top_k(
+            self.processor, query, k, BooleanExpression(groups)
+        )
+
+    def top_k_weighted_sum(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        alpha: float = 0.5,
+        max_distance: float | None = None,
+    ) -> list[tuple[int, float]]:
+        """Top-k under the alternative weighted-sum scorer (§2).
+
+        ``alpha`` trades distance against relevance; ``max_distance``
+        normalises distances (defaults to a loose but valid bound).
+        """
+        return self.processor.top_k_weighted_sum(
+            query, k, keywords, alpha=alpha, max_distance=max_distance
+        )
+
+    @property
+    def last_stats(self) -> QueryStats:
+        """Operation counts for the most recent query."""
+        return self.processor.last_stats
+
+    # ------------------------------------------------------------------
+    # Updates (paper §6.2)
+    # ------------------------------------------------------------------
+    def insert_object(
+        self, obj: int, document: Mapping[str, int] | Iterable[str]
+    ) -> None:
+        """Insert a new POI with its document (lazy, exact queries kept)."""
+        self.index.insert_object(obj, document, self.oracle.distance)
+
+    def delete_object(self, obj: int) -> None:
+        """Tombstone a POI in every keyword diagram."""
+        self.index.delete_object(obj)
+
+    def add_keyword(self, obj: int, keyword: str, frequency: int = 1) -> None:
+        """Add a keyword to an existing POI's document."""
+        self.index.add_keyword(obj, keyword, self.oracle.distance, frequency)
+
+    def remove_keyword(self, obj: int, keyword: str) -> None:
+        """Remove a keyword from an existing POI's document."""
+        self.index.remove_keyword(obj, keyword)
+
+    def rebuild_pending(self) -> list[str]:
+        """Rebuild diagrams whose lazy-update count passed the threshold."""
+        return self.index.rebuild_pending()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Keyword index + lower-bound index (excludes the distance oracle,
+        which the paper reports separately, e.g. "0.6 + 15.8 GB")."""
+        return self.index.memory_bytes() + self.lower_bounder.memory_bytes()
+
+    def total_memory_bytes(self) -> int:
+        """Everything including the pluggable distance oracle."""
+        return self.memory_bytes() + self.oracle.memory_bytes()

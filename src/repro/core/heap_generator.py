@@ -1,0 +1,140 @@
+"""The Heap Generator module: on-demand inverted heaps (paper §3, §5).
+
+An :class:`InvertedHeap` for keyword ``t`` yields the objects of
+``inv(t)`` in ascending order of their lower-bound network distance from
+the query vertex, maintaining **Property 1** at all times:
+
+    given the current top object ``o`` with bound ``LB(q, o)``, every
+    object containing ``t`` that has not yet been extracted has true
+    network distance ``d(q, o_t) >= LB(q, o)``.
+
+The heap is populated *lazily* (Theorem 1): it is seeded with the <= ρ
+candidates from the keyword's APX-NVD — a set guaranteed to contain the
+query's 1NN — and each extraction triggers LAZYREHEAP (Algorithm 4),
+which inserts the extracted object's NVD-adjacent objects.
+
+Tombstoned (deleted) objects still route expansion but are never
+reported (paper §6.2, Object Deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.lowerbound.base import LowerBounder
+from repro.nvd.approximate import ApproximateNVD
+
+INFINITY = math.inf
+
+
+class InvertedHeap:
+    """On-demand inverted heap for one query keyword.
+
+    Parameters
+    ----------
+    keyword:
+        The keyword this heap serves (for diagnostics).
+    nvd:
+        The keyword's APX-NVD (seeds + adjacency expansion).
+    query_vertex:
+        The query location ``q``.
+    query_coordinates:
+        Planar coordinates of ``q`` (for quadtree point location).
+    lower_bounder:
+        The Lower Bounding Module; every heap key is
+        ``lower_bounder.lower_bound(q, object)``.
+
+    Notes
+    -----
+    ``lower_bound_computations`` counts LB evaluations, the cheap
+    operation the paper's complexity analysis (§5.1) charges at
+    ``O(m)`` each.
+    """
+
+    def __init__(
+        self,
+        keyword: str,
+        nvd: ApproximateNVD,
+        query_vertex: int,
+        query_coordinates: tuple[float, float],
+        lower_bounder: LowerBounder,
+    ) -> None:
+        self.keyword = keyword
+        self._nvd = nvd
+        self._query = query_vertex
+        self._lower_bounder = lower_bounder
+        self._heap: list[tuple[float, int]] = []
+        self._inserted: set[int] = set()
+        self.lower_bound_computations = 0
+        self.extractions = 0
+        for obj in nvd.seed_objects(query_coordinates):
+            self._insert(obj)
+
+    def _insert(self, obj: int) -> None:
+        if obj in self._inserted:
+            return
+        self._inserted.add(obj)
+        bound = self._lower_bounder.lower_bound(self._query, obj)
+        self.lower_bound_computations += 1
+        heapq.heappush(self._heap, (bound, obj))
+
+    # ------------------------------------------------------------------
+    # Heap interface used by the Query Processor
+    # ------------------------------------------------------------------
+    def empty(self) -> bool:
+        """Whether no objects remain (live or tombstoned)."""
+        return not self._heap
+
+    def min_key(self) -> float:
+        """``MINKEY(H)`` — the top object's lower bound; inf when empty."""
+        return self._heap[0][0] if self._heap else INFINITY
+
+    def pop(self) -> tuple[int, float] | None:
+        """Extract the next *live* object and its lower bound.
+
+        Runs LAZYREHEAP (Algorithm 4) after every extraction so
+        Property 1 keeps holding; extraction passes straight through
+        tombstoned objects, expanding their adjacency without reporting
+        them.  Returns ``None`` when exhausted.
+        """
+        while self._heap:
+            bound, obj = heapq.heappop(self._heap)
+            self.extractions += 1
+            self._lazy_reheap(obj)
+            if not self._nvd.is_deleted(obj):
+                return obj, bound
+        return None
+
+    def _lazy_reheap(self, extracted: int) -> None:
+        """Algorithm 4: insert the extracted object's adjacent objects."""
+        for neighbor in self._nvd.neighbors(extracted):
+            self._insert(neighbor)
+
+    @property
+    def inserted_count(self) -> int:
+        """Objects inserted so far (lazy population keeps this small)."""
+        return len(self._inserted)
+
+
+class HeapGenerator:
+    """Factory producing :class:`InvertedHeap` instances per keyword.
+
+    Thin by design: all state lives in the keyword-separated index and
+    in each heap; the generator just wires a query location to them.
+    """
+
+    def __init__(self, lower_bounder: LowerBounder) -> None:
+        self._lower_bounder = lower_bounder
+
+    def heap_for(
+        self,
+        keyword: str,
+        nvd: ApproximateNVD,
+        query_vertex: int,
+        query_coordinates: tuple[float, float],
+    ) -> InvertedHeap:
+        """Create an on-demand inverted heap for one query keyword."""
+        return InvertedHeap(
+            keyword, nvd, query_vertex, query_coordinates, self._lower_bounder
+        )

@@ -1,0 +1,24 @@
+"""Synthetic dataset ladder and query workload generation."""
+
+from repro.datasets.synthetic import (
+    DATASET_ORDER,
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticDataset,
+    generate_dataset,
+    load_dataset,
+    statistics_table,
+)
+from repro.datasets.workloads import Query, WorkloadGenerator
+
+__all__ = [
+    "DATASET_ORDER",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "Query",
+    "SyntheticDataset",
+    "WorkloadGenerator",
+    "generate_dataset",
+    "load_dataset",
+    "statistics_table",
+]

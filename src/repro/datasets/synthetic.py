@@ -1,0 +1,124 @@
+"""The synthetic dataset suite: laptop-scale stand-ins for DE/ME/FL/E/US.
+
+The paper evaluates on five DIMACS road networks from 48k to 24M
+vertices with OpenStreetMap POIs (Table 2).  Pure Python cannot process
+graphs that size at benchmark rates, so this module generates a
+five-dataset ladder with the same *relative structure*:
+
+* perturbed-grid road networks (planar, low degree, locally connected),
+* object vertices covering a few percent of the network,
+* Zipfian keyword assignment (alpha = 1) over a vocabulary that grows
+  with network size, and
+* document lengths matching the paper's ~4-5 keywords per POI.
+
+Every experiment in ``benchmarks/`` runs over this ladder; DESIGN.md §5
+records the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.generators import perturbed_grid_network
+from repro.graph.road_network import RoadNetwork
+from repro.text.documents import KeywordDataset
+from repro.text.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one rung of the dataset ladder."""
+
+    name: str
+    analog_of: str  # the paper dataset this stands in for
+    rows: int
+    cols: int
+    object_fraction: float
+    vocabulary: int
+    mean_document_length: float
+    seed: int
+
+    @property
+    def num_vertices(self) -> int:
+        return self.rows * self.cols
+
+
+#: The five-dataset ladder mirroring Table 2's DE / ME / FL / E / US,
+#: plus an optional extra-large rung (not part of the benchmark ladder)
+#: for users who want to stress the indexes further.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("DE-S", "DE", 18, 18, 0.08, 60, 4.0, 101),
+        DatasetSpec("ME-S", "ME", 26, 26, 0.08, 100, 4.2, 102),
+        DatasetSpec("FL-S", "FL", 36, 36, 0.08, 160, 4.4, 103),
+        DatasetSpec("E-S", "E", 50, 50, 0.08, 260, 4.6, 104),
+        DatasetSpec("US-S", "US", 70, 70, 0.08, 400, 4.8, 105),
+        DatasetSpec("XL-S", "US (stress)", 110, 110, 0.08, 700, 4.8, 106),
+    )
+}
+
+#: Ladder order, smallest first (matches the paper's left-to-right axes).
+#: XL-S is deliberately excluded: the benchmarks sweep this list.
+DATASET_ORDER = ["DE-S", "ME-S", "FL-S", "E-S", "US-S"]
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated road network with its keyword dataset."""
+
+    spec: DatasetSpec
+    graph: RoadNetwork
+    keywords: KeywordDataset
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def statistics(self) -> dict[str, int]:
+        """The Table 2 row: |V|, |E|, |O|, |doc(V)|, |W|."""
+        return {
+            "|V|": self.graph.num_vertices,
+            "|E|": self.graph.num_edges,
+            "|O|": self.keywords.num_objects,
+            "|doc(V)|": self.keywords.num_occurrences,
+            "|W|": self.keywords.num_keywords,
+        }
+
+
+def generate_dataset(spec: DatasetSpec) -> SyntheticDataset:
+    """Generate one dataset deterministically from its spec."""
+    graph = perturbed_grid_network(spec.rows, spec.cols, seed=spec.seed)
+    rng = random.Random(spec.seed * 7 + 1)
+    sampler = ZipfSampler(spec.vocabulary, alpha=1.0, seed=spec.seed * 13 + 2)
+    object_count = max(8, int(graph.num_vertices * spec.object_fraction))
+    objects = sorted(rng.sample(range(graph.num_vertices), object_count))
+    documents: dict[int, list[str]] = {}
+    for o in objects:
+        length = max(1, round(rng.gauss(spec.mean_document_length, 1.5)))
+        documents[o] = [f"kw{sampler.sample_rank():04d}" for _ in range(length)]
+    return SyntheticDataset(
+        spec=spec, graph=graph, keywords=KeywordDataset(documents)
+    )
+
+
+def load_dataset(name: str) -> SyntheticDataset:
+    """Generate a ladder dataset by name (``DE-S`` ... ``US-S``)."""
+    spec = DATASET_SPECS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_SPECS)}"
+        )
+    return generate_dataset(spec)
+
+
+def statistics_table() -> list[dict[str, object]]:
+    """All Table 2 rows, smallest dataset first."""
+    rows = []
+    for name in DATASET_ORDER:
+        dataset = load_dataset(name)
+        row: dict[str, object] = {"Region": name}
+        row.update(dataset.statistics())
+        rows.append(row)
+    return rows

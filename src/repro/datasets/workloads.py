@@ -1,0 +1,170 @@
+"""Query workload generation (paper §7.1, "Query Parameters").
+
+The paper builds query keyword vectors that are *correlated* — real
+keyword combinations, not random draws:
+
+1. choose several popular search terms ("hotel", "restaurant", ...);
+2. for each term, select objects that contain it;
+3. extend each selected object's term with co-occurring keywords from
+   its own document to form vectors of length 1..6;
+4. pair every vector with uniformly selected query vertices.
+
+This module reproduces that pipeline over the synthetic corpora, with
+the popular terms taken as the most frequent keywords (the synthetic
+analogue of "hotel"/"restaurant"/...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.road_network import RoadNetwork
+from repro.text.documents import KeywordDataset
+
+
+@dataclass(frozen=True)
+class Query:
+    """One spatial keyword query instance."""
+
+    vertex: int
+    keywords: tuple[str, ...]
+
+
+class WorkloadGenerator:
+    """Correlated query workloads over a keyword dataset.
+
+    Parameters
+    ----------
+    graph, dataset:
+        The world the workload runs against.
+    num_popular_terms:
+        How many frequent keywords seed the vectors (paper: 5).
+    objects_per_term:
+        Objects sampled per popular term (paper: 10).
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        dataset: KeywordDataset,
+        num_popular_terms: int = 5,
+        objects_per_term: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if num_popular_terms < 1 or objects_per_term < 1:
+            raise ValueError("need positive term and object counts")
+        self._graph = graph
+        self._dataset = dataset
+        self._rng = random.Random(seed)
+        ranked = dataset.frequency_rank()
+        if not ranked:
+            raise ValueError("dataset has no keywords")
+        self.popular_terms = [kw for kw, _ in ranked[:num_popular_terms]]
+        self._objects_per_term = objects_per_term
+
+    def keyword_vectors(self, length: int, count: int | None = None) -> list[tuple[str, ...]]:
+        """Correlated keyword vectors of the given length.
+
+        Each vector starts from a popular term and is padded with other
+        keywords drawn from a real object's document containing that
+        term, so keyword combinations co-occur in the data.  When an
+        object's document is too short, further co-occurring keywords
+        are drawn from other objects in the term's inverted list.
+        """
+        if length < 1:
+            raise ValueError("vector length must be positive")
+        vectors: list[tuple[str, ...]] = []
+        for term in self.popular_terms:
+            inverted = list(self._dataset.inverted_list(term))
+            if not inverted:
+                continue
+            chosen = self._rng.sample(
+                inverted, min(self._objects_per_term, len(inverted))
+            )
+            for o in chosen:
+                vector = self._extend_vector(term, o, inverted, length)
+                vectors.append(tuple(vector))
+        if count is not None:
+            self._rng.shuffle(vectors)
+            vectors = vectors[:count]
+        return vectors
+
+    def _extend_vector(
+        self, term: str, obj: int, inverted: list[int], length: int
+    ) -> list[str]:
+        vector = [term]
+        companions = [t for t in self._dataset.document(obj) if t != term]
+        self._rng.shuffle(companions)
+        vector.extend(companions[: length - 1])
+        # Pad from sibling objects when the document is too short.
+        attempts = 0
+        while len(vector) < length and attempts < 50:
+            attempts += 1
+            other = self._rng.choice(inverted)
+            extras = [t for t in self._dataset.document(other) if t not in vector]
+            if extras:
+                vector.append(self._rng.choice(extras))
+        return vector[:length]
+
+    def query_vertices(self, count: int) -> list[int]:
+        """Uniformly selected query locations."""
+        if count < 1:
+            raise ValueError("need at least one query vertex")
+        return [
+            self._rng.randrange(self._graph.num_vertices) for _ in range(count)
+        ]
+
+    def queries(
+        self,
+        num_terms: int,
+        num_vectors: int,
+        vertices_per_vector: int,
+    ) -> list[Query]:
+        """The full workload: vectors x uniform query vertices."""
+        vectors = self.keyword_vectors(num_terms, count=num_vectors)
+        workload = []
+        for vector in vectors:
+            for vertex in self.query_vertices(vertices_per_vector):
+                workload.append(Query(vertex=vertex, keywords=vector))
+        return workload
+
+    def single_keyword_queries_by_density(
+        self,
+        buckets: list[float],
+        queries_per_bucket: int,
+    ) -> dict[float, list[Query]]:
+        """Single-keyword workloads bucketed by object density (Fig 13).
+
+        Density is ``|inv(t)| / |V|``; bucket ``b`` collects keywords
+        with density in ``[b, next_bucket)`` and the final bucket is
+        open-ended, exactly as the paper's x-axis tics.
+        """
+        if not buckets or buckets != sorted(buckets):
+            raise ValueError("buckets must be ascending and non-empty")
+        num_vertices = self._graph.num_vertices
+        by_bucket: dict[float, list[str]] = {b: [] for b in buckets}
+        for keyword, size in self._dataset.frequency_rank():
+            density = size / num_vertices
+            chosen = None
+            for i, b in enumerate(buckets):
+                upper = buckets[i + 1] if i + 1 < len(buckets) else float("inf")
+                if b <= density < upper:
+                    chosen = b
+                    break
+            if chosen is not None:
+                by_bucket[chosen].append(keyword)
+        workloads: dict[float, list[Query]] = {}
+        for bucket, keywords in by_bucket.items():
+            if not keywords:
+                workloads[bucket] = []
+                continue
+            queries = []
+            for _ in range(queries_per_bucket):
+                keyword = self._rng.choice(keywords)
+                vertex = self._rng.randrange(num_vertices)
+                queries.append(Query(vertex=vertex, keywords=(keyword,)))
+            workloads[bucket] = queries
+        return workloads

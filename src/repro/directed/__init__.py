@@ -1,0 +1,35 @@
+"""Directed road networks: the paper's §2 extension, end to end."""
+
+from repro.directed.alt import DirectedAltLowerBounder
+from repro.directed.dijkstra import (
+    directed_distance,
+    forward_dijkstra_all,
+    reverse_dijkstra_all,
+    reverse_multi_source,
+)
+from repro.directed.graph import (
+    DirectedRoadNetwork,
+    from_undirected,
+    with_one_way_streets,
+)
+from repro.directed.kspin import (
+    DirectedDijkstraOracle,
+    DirectedKeywordIndex,
+    DirectedKSpin,
+)
+from repro.directed.nvd import DirectedApproximateNVD
+
+__all__ = [
+    "DirectedAltLowerBounder",
+    "DirectedApproximateNVD",
+    "DirectedDijkstraOracle",
+    "DirectedKSpin",
+    "DirectedKeywordIndex",
+    "DirectedRoadNetwork",
+    "directed_distance",
+    "forward_dijkstra_all",
+    "from_undirected",
+    "reverse_dijkstra_all",
+    "reverse_multi_source",
+    "with_one_way_streets",
+]

@@ -1,0 +1,100 @@
+"""Directed ALT lower bounds.
+
+With asymmetric distances each landmark needs two tables:
+``d(l -> v)`` (forward) and ``d(v -> l)`` (backward).  Both triangle
+inequalities give admissible bounds on ``d(u -> v)``::
+
+    d(u -> v) >= d(u -> l) - d(v -> l)     (via the backward table)
+    d(u -> v) >= d(l -> v) - d(l -> u)     (via the forward table)
+
+The bound is the maximum over both forms and all landmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.directed.dijkstra import forward_dijkstra_all, reverse_dijkstra_all
+from repro.directed.graph import DirectedRoadNetwork
+from repro.lowerbound.base import LowerBounder
+
+
+class DirectedAltLowerBounder(LowerBounder):
+    """Landmark lower bounds for directed networks.
+
+    Parameters
+    ----------
+    graph:
+        The directed road network.
+    num_landmarks:
+        Landmark count; each costs a forward and a reverse Dijkstra.
+    seed:
+        Seed for the farthest-point selection's random start.
+    """
+
+    name = "ALT-directed"
+
+    def __init__(
+        self, graph: DirectedRoadNetwork, num_landmarks: int = 16, seed: int = 0
+    ) -> None:
+        if num_landmarks < 1:
+            raise ValueError("need at least one landmark")
+        num_landmarks = min(num_landmarks, graph.num_vertices)
+        self.landmarks = self._select(graph, num_landmarks, seed)
+        n = graph.num_vertices
+        forward = np.empty((len(self.landmarks), n))
+        backward = np.empty((len(self.landmarks), n))
+        for row, landmark in enumerate(self.landmarks):
+            forward[row, :] = forward_dijkstra_all(graph, landmark)
+            backward[row, :] = reverse_dijkstra_all(graph, landmark)
+        forward[~np.isfinite(forward)] = np.nan
+        backward[~np.isfinite(backward)] = np.nan
+        self._forward = forward  # d(l -> v)
+        self._backward = backward  # d(v -> l)
+
+    @staticmethod
+    def _select(
+        graph: DirectedRoadNetwork, count: int, seed: int
+    ) -> list[int]:
+        """Farthest-point selection over the symmetrised distance."""
+        rng = random.Random(seed)
+        start = rng.randrange(graph.num_vertices)
+        first = forward_dijkstra_all(graph, start)
+        landmarks = [
+            max(
+                graph.vertices(),
+                key=lambda v: first[v] if first[v] < float("inf") else 0.0,
+            )
+        ]
+        minimum = [
+            d if d < float("inf") else 0.0
+            for d in forward_dijkstra_all(graph, landmarks[0])
+        ]
+        while len(landmarks) < count:
+            candidate = max(graph.vertices(), key=lambda v: minimum[v])
+            if candidate in landmarks:
+                break
+            landmarks.append(candidate)
+            for v, d in enumerate(forward_dijkstra_all(graph, candidate)):
+                d = d if d < float("inf") else 0.0
+                if d < minimum[v]:
+                    minimum[v] = d
+        return landmarks
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """An admissible bound on the *directed* distance ``d(u -> v)``."""
+        if u == v:
+            return 0.0
+        via_backward = self._backward[:, u] - self._backward[:, v]
+        via_forward = self._forward[:, v] - self._forward[:, u]
+        candidates = np.concatenate([via_backward, via_forward])
+        finite = candidates[~np.isnan(candidates)]
+        if finite.size == 0:
+            return 0.0
+        best = float(finite.max())
+        return best if best > 0.0 else 0.0
+
+    def memory_bytes(self) -> int:
+        return int(self._forward.nbytes + self._backward.nbytes)

@@ -1,0 +1,100 @@
+"""Directed shortest-path primitives.
+
+Forward searches relax outgoing arcs and compute ``d(source -> .)``;
+reverse searches relax incoming arcs and compute ``d(. -> target)``.
+The directed NVD needs the reverse multi-source variant: every vertex
+labelled with the object it can reach most cheaply.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+from repro.directed.graph import DirectedRoadNetwork
+
+INFINITY = math.inf
+
+
+def forward_dijkstra_all(graph: DirectedRoadNetwork, source: int) -> list[float]:
+    """``d(source -> v)`` for every vertex."""
+    return _dijkstra(graph, source, reverse=False)
+
+
+def reverse_dijkstra_all(graph: DirectedRoadNetwork, target: int) -> list[float]:
+    """``d(v -> target)`` for every vertex (search over incoming arcs)."""
+    return _dijkstra(graph, target, reverse=True)
+
+
+def _dijkstra(graph: DirectedRoadNetwork, root: int, reverse: bool) -> list[float]:
+    distances = [INFINITY] * graph.num_vertices
+    distances[root] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, root)]
+    edges = graph.in_edges if reverse else graph.out_edges
+    while heap:
+        dist_u, u = heapq.heappop(heap)
+        if dist_u > distances[u]:
+            continue
+        for v, weight in edges(u):
+            candidate = dist_u + weight
+            if candidate < distances[v]:
+                distances[v] = candidate
+                heapq.heappush(heap, (candidate, v))
+    return distances
+
+
+def directed_distance(graph: DirectedRoadNetwork, source: int, target: int) -> float:
+    """Point-to-point ``d(source -> target)`` with early termination."""
+    if source == target:
+        return 0.0
+    distances = [INFINITY] * graph.num_vertices
+    distances[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    out_edges = graph.out_edges
+    while heap:
+        dist_u, u = heapq.heappop(heap)
+        if u == target:
+            return dist_u
+        if dist_u > distances[u]:
+            continue
+        for v, weight in out_edges(u):
+            candidate = dist_u + weight
+            if candidate < distances[v]:
+                distances[v] = candidate
+                heapq.heappush(heap, (candidate, v))
+    return INFINITY
+
+
+def reverse_multi_source(
+    graph: DirectedRoadNetwork, objects: Sequence[int]
+) -> tuple[list[float], list[int]]:
+    """Directed NVD labelling: nearest *reachable* object per vertex.
+
+    Returns ``(distances, owners)`` with ``owners[v]`` the object
+    minimising ``d(v -> o)`` (ties broken deterministically) and ``-1``
+    where no object is reachable.  One multi-source Dijkstra over the
+    reverse graph.
+    """
+    if not objects:
+        raise ValueError("need at least one object")
+    distances = [INFINITY] * graph.num_vertices
+    owners = [-1] * graph.num_vertices
+    heap: list[tuple[float, int, int]] = []
+    for o in sorted(set(objects)):
+        distances[o] = 0.0
+        owners[o] = o
+        heap.append((0.0, o, o))
+    heapq.heapify(heap)
+    in_edges = graph.in_edges
+    while heap:
+        dist_u, u, owner = heapq.heappop(heap)
+        if dist_u > distances[u]:
+            continue
+        for v, weight in in_edges(u):
+            candidate = dist_u + weight
+            if candidate < distances[v]:
+                distances[v] = candidate
+                owners[v] = owner
+                heapq.heappush(heap, (candidate, v, owner))
+    return distances, owners

@@ -1,0 +1,213 @@
+"""Directed road networks (paper §2 extension).
+
+The paper models undirected edges "to make exposition simpler" and
+notes the framework extends to other cases.  Real road networks have
+one-way streets; this subpackage provides that extension end to end:
+directed graphs, forward/reverse searches, directed ALT bounds,
+directed NVDs, and a :class:`~repro.directed.kspin.DirectedKSpin`
+facade that reuses the core query processor unchanged.
+
+Distances are directional: ``d(u -> v)`` generally differs from
+``d(v -> u)``.  For POI search the relevant quantity is the travel
+distance *from the query to the object*, so every index here is built
+around ``d(q -> o)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.graph.road_network import RoadNetwork, RoadNetworkError
+
+
+class DirectedRoadNetwork:
+    """A directed, weighted road network with vertex coordinates.
+
+    Examples
+    --------
+    >>> g = DirectedRoadNetwork(2)
+    >>> g.add_edge(0, 1, 2.0)
+    >>> g.out_edges(0)
+    [(1, 2.0)]
+    >>> g.out_edges(1)
+    []
+    """
+
+    __slots__ = ("_out", "_in", "_coordinates", "_num_edges")
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices <= 0:
+            raise RoadNetworkError("a road network needs at least one vertex")
+        self._out: list[list[tuple[int, float]]] = [[] for _ in range(num_vertices)]
+        self._in: list[list[tuple[int, float]]] = [[] for _ in range(num_vertices)]
+        self._coordinates: list[tuple[float, float]] = [
+            (0.0, 0.0) for _ in range(num_vertices)
+        ]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add the directed edge ``u -> v``; parallel arcs keep the minimum."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise RoadNetworkError(f"self-loop on vertex {u} is not allowed")
+        if weight <= 0:
+            raise RoadNetworkError(
+                f"edge ({u} -> {v}) must have positive weight, got {weight!r}"
+            )
+        existing = self.edge_weight(u, v)
+        if existing is not None:
+            if weight < existing:
+                self._replace(u, v, weight)
+            return
+        self._out[u].append((v, float(weight)))
+        self._in[v].append((u, float(weight)))
+        self._num_edges += 1
+
+    def _replace(self, u: int, v: int, weight: float) -> None:
+        for adjacency, key in ((self._out[u], v), (self._in[v], u)):
+            for index, (other, _) in enumerate(adjacency):
+                if other == key:
+                    adjacency[index] = (key, float(weight))
+                    break
+
+    def add_two_way(self, u: int, v: int, weight: float) -> None:
+        """Convenience: both directions with the same weight."""
+        self.add_edge(u, v, weight)
+        self.add_edge(v, u, weight)
+
+    def set_coordinates(self, v: int, x: float, y: float) -> None:
+        """Attach planar coordinates (quadtree point location)."""
+        self._check_vertex(v)
+        self._coordinates[v] = (float(x), float(y))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed arcs."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._out))
+
+    def out_edges(self, v: int) -> Sequence[tuple[int, float]]:
+        """Arcs leaving ``v``: ``(head, weight)`` pairs."""
+        self._check_vertex(v)
+        return self._out[v]
+
+    def in_edges(self, v: int) -> Sequence[tuple[int, float]]:
+        """Arcs entering ``v``: ``(tail, weight)`` pairs."""
+        self._check_vertex(v)
+        return self._in[v]
+
+    # The core query processor asks the graph for coordinates; exposing
+    # the same accessors as RoadNetwork lets it run unmodified.
+    def coordinates(self, v: int) -> tuple[float, float]:
+        self._check_vertex(v)
+        return self._coordinates[v]
+
+    def neighbors(self, v: int) -> Sequence[tuple[int, float]]:
+        """Alias of :meth:`out_edges` (duck-typing RoadNetwork)."""
+        return self.out_edges(v)
+
+    def edge_weight(self, u: int, v: int) -> float | None:
+        """Weight of arc ``u -> v``, or ``None``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        for head, weight in self._out[u]:
+            if head == v:
+                return weight
+        return None
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """All directed arcs ``(u, v, weight)``."""
+        for u, adjacency in enumerate(self._out):
+            for v, weight in adjacency:
+                yield u, v, weight
+
+    def is_strongly_connected(self) -> bool:
+        """Whether every vertex reaches every other along directed arcs."""
+        return (
+            len(self._reachable(0, self._out)) == self.num_vertices
+            and len(self._reachable(0, self._in)) == self.num_vertices
+        )
+
+    def _reachable(
+        self, start: int, adjacency: list[list[tuple[int, float]]]
+    ) -> set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v, _ in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._out):
+            raise RoadNetworkError(
+                f"vertex {v} out of range [0, {len(self._out)})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectedRoadNetwork(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+
+def from_undirected(graph: RoadNetwork) -> DirectedRoadNetwork:
+    """Lift an undirected network to a directed one (arcs both ways)."""
+    directed = DirectedRoadNetwork(graph.num_vertices)
+    for v in graph.vertices():
+        directed.set_coordinates(v, *graph.coordinates(v))
+    for u, v, weight in graph.edges():
+        directed.add_two_way(u, v, weight)
+    return directed
+
+
+def with_one_way_streets(
+    graph: RoadNetwork, fraction: float = 0.3, seed: int = 0
+) -> DirectedRoadNetwork:
+    """A strongly connected directed network with one-way streets.
+
+    Starts from the undirected network, turns ``fraction`` of its edges
+    into single-direction arcs (random orientation), then restores
+    strong connectivity by re-adding a one-way street's reverse arc only
+    when its head cannot currently reach its tail.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    directed = DirectedRoadNetwork(graph.num_vertices)
+    for v in graph.vertices():
+        directed.set_coordinates(v, *graph.coordinates(v))
+    one_way: list[tuple[int, int, float]] = []
+    for u, v, weight in graph.edges():
+        if rng.random() < fraction:
+            if rng.random() < 0.5:
+                u, v = v, u
+            directed.add_edge(u, v, weight)
+            one_way.append((u, v, weight))
+        else:
+            directed.add_two_way(u, v, weight)
+    rng.shuffle(one_way)
+    for u, v, weight in one_way:
+        # The arc u -> v exists; the street only hurts connectivity if
+        # v cannot get back to u some other way.
+        if u not in directed._reachable(v, directed._out):
+            directed.add_edge(v, u, weight)
+    assert directed.is_strongly_connected()
+    return directed

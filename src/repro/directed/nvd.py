@@ -1,0 +1,147 @@
+"""Directed ρ-approximate network Voronoi diagrams.
+
+The directed NVD assigns every vertex the object it can *reach* most
+cheaply: ``owner(v) = argmin_o d(v -> o)``, computed with one
+multi-source Dijkstra over the reverse graph.  Property 2 carries over:
+on the shortest path ``q -> o_k``, let ``w`` be the last vertex owned
+by some ``o_j != o_k``; the crossing arc makes their cells adjacent and
+``d(q -> o_j) <= d(q -> w) + d(w -> o_j) <= d(q -> o_k)``, so the k-th
+nearest object is adjacent to a closer one — exactly what Algorithm 4
+needs.  Cell adjacency therefore comes from arcs whose endpoints have
+different owners (direction ignored for the adjacency relation).
+
+The container is the same Morton quadtree as the undirected case, so
+Definition 1's ≤ ρ-candidates-including-the-1NN guarantee and
+Theorem 1's lazy-heap correctness transfer unchanged.  Deletions are
+tombstoned exactly as in §6.2; insertion affected-sets (Theorem 2's
+MaxRadius argument is symmetric-distance specific) are future work —
+:meth:`rebuild` covers insertions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from repro.directed.dijkstra import reverse_multi_source
+from repro.directed.graph import DirectedRoadNetwork
+from repro.nvd.quadtree import MortonQuadtree
+
+
+class DirectedApproximateNVD:
+    """Per-keyword APX-NVD over a directed road network.
+
+    Duck-types the query-side interface of
+    :class:`repro.nvd.approximate.ApproximateNVD` (``seed_objects``,
+    ``neighbors``, ``is_deleted``, ``live_objects``) so the core heap
+    generator and query processor run on it unchanged.
+    """
+
+    def __init__(
+        self,
+        rho: int,
+        objects: Iterable[int],
+        adjacency: dict[int, set[int]],
+        quadtree: MortonQuadtree | None,
+        keyword: str | None = None,
+        build_seconds: float = 0.0,
+    ) -> None:
+        self.rho = rho
+        self.objects: set[int] = set(objects)
+        self.adjacency = adjacency
+        self.quadtree = quadtree
+        self.keyword = keyword
+        self.build_seconds = build_seconds
+        self.deleted: set[int] = set()
+        self.pending_updates = 0
+
+    @classmethod
+    def build(
+        cls,
+        graph: DirectedRoadNetwork,
+        objects: Iterable[int],
+        rho: int = 5,
+        keyword: str | None = None,
+    ) -> "DirectedApproximateNVD":
+        """Build from one reverse multi-source Dijkstra (Observation 1
+        still skips the diagram for keywords with <= rho objects)."""
+        if rho < 1:
+            raise ValueError("rho must be at least 1")
+        start = time.perf_counter()
+        object_list = sorted(set(objects))
+        if not object_list:
+            raise ValueError("an APX-NVD needs at least one object")
+        if len(object_list) <= rho:
+            return cls(
+                rho=rho,
+                objects=object_list,
+                adjacency={o: set() for o in object_list},
+                quadtree=None,
+                keyword=keyword,
+                build_seconds=time.perf_counter() - start,
+            )
+        _, owners = reverse_multi_source(graph, object_list)
+        adjacency: dict[int, set[int]] = {o: set() for o in object_list}
+        for u, v, _ in graph.edges():
+            owner_u, owner_v = owners[u], owners[v]
+            if owner_u != owner_v and owner_u >= 0 and owner_v >= 0:
+                adjacency[owner_u].add(owner_v)
+                adjacency[owner_v].add(owner_u)
+        colors = {v: owners[v] for v in graph.vertices() if owners[v] >= 0}
+        points = {v: graph.coordinates(v) for v in colors}
+        quadtree = MortonQuadtree(points, colors, rho)
+        return cls(
+            rho=rho,
+            objects=object_list,
+            adjacency=adjacency,
+            quadtree=quadtree,
+            keyword=keyword,
+            build_seconds=time.perf_counter() - start,
+        )
+
+    @property
+    def is_small(self) -> bool:
+        return self.quadtree is None
+
+    def live_objects(self) -> set[int]:
+        return self.objects - self.deleted
+
+    # ------------------------------------------------------------------
+    # Query-side interface (shared with the undirected APX-NVD)
+    # ------------------------------------------------------------------
+    def seed_objects(self, coordinates: tuple[float, float]) -> list[int]:
+        """<= rho candidates guaranteed to include the true directed 1NN."""
+        if self.quadtree is None:
+            return sorted(self.objects)
+        return sorted(self.quadtree.candidates(*coordinates))
+
+    def neighbors(self, obj: int) -> list[int]:
+        return sorted(self.adjacency.get(obj, ()))
+
+    def is_deleted(self, obj: int) -> bool:
+        return obj in self.deleted
+
+    def delete_object(self, obj: int) -> None:
+        """Tombstone; expansion still routes through the cell (§6.2)."""
+        if obj not in self.objects:
+            raise KeyError(f"object {obj} is not in this NVD")
+        if obj not in self.deleted:
+            self.deleted.add(obj)
+            self.pending_updates += 1
+
+    def rebuild(self, graph: DirectedRoadNetwork) -> "DirectedApproximateNVD":
+        """Fresh diagram over the live objects (covers insertions too —
+        add to ``objects`` first, then rebuild)."""
+        live = self.live_objects()
+        if not live:
+            raise ValueError("cannot rebuild an NVD with no live objects")
+        return DirectedApproximateNVD.build(
+            graph, live, rho=self.rho, keyword=self.keyword
+        )
+
+    def memory_bytes(self) -> int:
+        edges = sum(len(a) for a in self.adjacency.values())
+        base = edges * 16 + len(self.objects) * 8
+        if self.quadtree is not None:
+            base += self.quadtree.memory_bytes()
+        return base

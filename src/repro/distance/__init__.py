@@ -1,0 +1,20 @@
+"""Network Distance Module: pluggable exact point-to-point oracles."""
+
+from repro.distance.astar import AStarOracle
+from repro.distance.base import DistanceOracle, verify_oracle
+from repro.distance.ch import ContractionHierarchy
+from repro.distance.dijkstra_oracle import BidirectionalDijkstraOracle, DijkstraOracle
+from repro.distance.gtree import GTree, GTreeNode
+from repro.distance.hub_labeling import HubLabeling
+
+__all__ = [
+    "AStarOracle",
+    "BidirectionalDijkstraOracle",
+    "ContractionHierarchy",
+    "DijkstraOracle",
+    "DistanceOracle",
+    "GTree",
+    "GTreeNode",
+    "HubLabeling",
+    "verify_oracle",
+]

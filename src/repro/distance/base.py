@@ -1,0 +1,62 @@
+"""The Network Distance Module interface.
+
+K-SPIN's defining flexibility claim (paper §1.2, §3) is that the
+keyword-separated index is decoupled from the network-distance index, so
+*any* exact point-to-point technique can be plugged in.  Every oracle in
+this package (Dijkstra, Contraction Hierarchies, hub labeling, G-tree)
+implements :class:`DistanceOracle`, and the K-SPIN query processor only
+ever calls :meth:`DistanceOracle.distance`.
+
+Oracles count how many distance computations they serve via
+``query_count`` — the paper's analysis (§5.1) identifies the network
+distance computation as the dominant per-iteration cost, so benchmarks
+report this counter alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.graph.road_network import RoadNetwork
+
+
+class DistanceOracle(abc.ABC):
+    """Exact point-to-point network distance between any two vertices."""
+
+    #: Human-readable name used in benchmark tables ("CH", "PHL", ...).
+    name: str = "oracle"
+
+    def __init__(self) -> None:
+        self.query_count = 0
+
+    @abc.abstractmethod
+    def distance(self, source: int, target: int) -> float:
+        """Exact network distance ``d(source, target)``; ``inf`` if disconnected."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate in-memory index footprint in bytes."""
+
+    def reset_counters(self) -> None:
+        """Zero the per-experiment query counter."""
+        self.query_count = 0
+
+
+def verify_oracle(
+    oracle: DistanceOracle, graph: RoadNetwork, pairs: list[tuple[int, int]]
+) -> None:
+    """Assert an oracle agrees with Dijkstra on the given vertex pairs.
+
+    A debugging/testing helper used by the test suite and by users
+    plugging in their own oracle implementations.
+    """
+    from repro.graph.dijkstra import dijkstra_distance
+
+    for source, target in pairs:
+        expected = dijkstra_distance(graph, source, target)
+        actual = oracle.distance(source, target)
+        if abs(actual - expected) > 1e-6 * max(1.0, expected):
+            raise AssertionError(
+                f"{oracle.name}: d({source},{target}) = {actual}, "
+                f"Dijkstra says {expected}"
+            )

@@ -1,0 +1,46 @@
+"""Index-free distance oracles: plain and bidirectional Dijkstra.
+
+These are the "no pre-processing" end of the trade-off spectrum the
+paper's Network Distance Module spans.  They also serve as the ground
+truth every indexed oracle is tested against.
+"""
+
+from __future__ import annotations
+
+from repro.distance.base import DistanceOracle
+from repro.graph.dijkstra import bidirectional_dijkstra, dijkstra_distance
+from repro.graph.road_network import RoadNetwork
+
+
+class DijkstraOracle(DistanceOracle):
+    """Exact distances by early-terminating Dijkstra; no index at all."""
+
+    name = "Dijkstra"
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        super().__init__()
+        self._graph = graph
+
+    def distance(self, source: int, target: int) -> float:
+        self.query_count += 1
+        return dijkstra_distance(self._graph, source, target)
+
+    def memory_bytes(self) -> int:
+        return 0  # uses only the input graph
+
+
+class BidirectionalDijkstraOracle(DistanceOracle):
+    """Exact distances by bidirectional Dijkstra; still index-free."""
+
+    name = "BiDijkstra"
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        super().__init__()
+        self._graph = graph
+
+    def distance(self, source: int, target: int) -> float:
+        self.query_count += 1
+        return bidirectional_dijkstra(self._graph, source, target)
+
+    def memory_bytes(self) -> int:
+        return 0

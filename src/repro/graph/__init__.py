@@ -1,0 +1,34 @@
+"""Road-network graph substrate: structure, searches, generators, I/O."""
+
+from repro.graph.dijkstra import (
+    INFINITY,
+    bidirectional_dijkstra,
+    dijkstra_all,
+    dijkstra_distance,
+    dijkstra_to_targets,
+    multi_source_dijkstra,
+    network_expansion_knn,
+)
+from repro.graph.edge_pois import EdgePlacement, subdivide_for_pois
+from repro.graph.generators import perturbed_grid_network, random_geometric_network
+from repro.graph.io import DimacsFormatError, read_dimacs, write_dimacs
+from repro.graph.road_network import RoadNetwork, RoadNetworkError
+
+__all__ = [
+    "INFINITY",
+    "RoadNetwork",
+    "RoadNetworkError",
+    "DimacsFormatError",
+    "EdgePlacement",
+    "bidirectional_dijkstra",
+    "dijkstra_all",
+    "dijkstra_distance",
+    "dijkstra_to_targets",
+    "multi_source_dijkstra",
+    "network_expansion_knn",
+    "perturbed_grid_network",
+    "random_geometric_network",
+    "read_dimacs",
+    "subdivide_for_pois",
+    "write_dimacs",
+]

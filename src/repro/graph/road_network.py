@@ -1,0 +1,196 @@
+"""Road-network graph substrate.
+
+The paper models a road network as a connected undirected graph
+``G = (V, E)`` with positive edge weights (travel time or length) and
+vertex coordinates.  This module provides :class:`RoadNetwork`, the single
+graph representation shared by every index in the repository (K-SPIN,
+Contraction Hierarchies, hub labeling, G-tree, ROAD, FS-FBS, NVDs).
+
+Vertices are dense integers ``0 .. n-1``.  Adjacency is stored as one
+Python list per vertex of ``(neighbor, weight)`` tuples, which profiling
+showed to be the fastest pure-Python layout for Dijkstra-style scans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class RoadNetworkError(ValueError):
+    """Raised for structurally invalid road-network operations."""
+
+
+class RoadNetwork:
+    """An undirected, weighted road network with vertex coordinates.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0 .. num_vertices - 1``.
+
+    Examples
+    --------
+    >>> g = RoadNetwork(3)
+    >>> g.add_edge(0, 1, 2.0)
+    >>> g.add_edge(1, 2, 3.0)
+    >>> sorted(g.neighbors(1))
+    [(0, 2.0), (2, 3.0)]
+    """
+
+    __slots__ = ("_adjacency", "_coordinates", "_num_edges")
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices <= 0:
+            raise RoadNetworkError("a road network needs at least one vertex")
+        self._adjacency: list[list[tuple[int, float]]] = [
+            [] for _ in range(num_vertices)
+        ]
+        self._coordinates: list[tuple[float, float]] = [
+            (0.0, 0.0) for _ in range(num_vertices)
+        ]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add an undirected edge ``(u, v)`` with positive ``weight``.
+
+        Parallel edges are collapsed: if the edge already exists, the
+        smaller weight is kept (standard road-network convention).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise RoadNetworkError(f"self-loop on vertex {u} is not allowed")
+        if weight <= 0:
+            raise RoadNetworkError(
+                f"edge ({u}, {v}) must have positive weight, got {weight!r}"
+            )
+        existing = self.edge_weight(u, v)
+        if existing is not None:
+            if weight < existing:
+                self._replace_edge_weight(u, v, weight)
+            return
+        self._adjacency[u].append((v, float(weight)))
+        self._adjacency[v].append((u, float(weight)))
+        self._num_edges += 1
+
+    def set_coordinates(self, v: int, x: float, y: float) -> None:
+        """Attach planar coordinates to vertex ``v`` (used by quadtrees)."""
+        self._check_vertex(v)
+        self._coordinates[v] = (float(x), float(y))
+
+    def _replace_edge_weight(self, u: int, v: int, weight: float) -> None:
+        for adjacency, other in ((self._adjacency[u], v), (self._adjacency[v], u)):
+            for index, (neighbor, _) in enumerate(adjacency):
+                if neighbor == other:
+                    adjacency[index] = (other, float(weight))
+                    break
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """All vertex ids as a range."""
+        return range(len(self._adjacency))
+
+    def neighbors(self, v: int) -> Sequence[tuple[int, float]]:
+        """The ``(neighbor, weight)`` pairs adjacent to ``v``."""
+        self._check_vertex(v)
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to ``v``."""
+        self._check_vertex(v)
+        return len(self._adjacency[v])
+
+    def edge_weight(self, u: int, v: int) -> float | None:
+        """Weight of edge ``(u, v)``, or ``None`` if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        for neighbor, weight in self._adjacency[u]:
+            if neighbor == v:
+                return weight
+        return None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists."""
+        return self.edge_weight(u, v) is not None
+
+    def coordinates(self, v: int) -> tuple[float, float]:
+        """Planar coordinates of vertex ``v``."""
+        self._check_vertex(v)
+        return self._coordinates[v]
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate undirected edges once each, as ``(u, v, weight)``, u < v."""
+        for u, adjacency in enumerate(self._adjacency):
+            for v, weight in adjacency:
+                if u < v:
+                    yield u, v, weight
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """Axis-aligned bounding box of all coordinates: (minx, miny, maxx, maxy)."""
+        xs = [x for x, _ in self._coordinates]
+        ys = [y for _, y in self._coordinates]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def is_connected(self) -> bool:
+        """Whether the network is a single connected component."""
+        return len(self.component_of(0)) == self.num_vertices
+
+    def component_of(self, start: int) -> set[int]:
+        """Vertices reachable from ``start`` (iterative DFS)."""
+        self._check_vertex(start)
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v, _ in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def subgraph_adjacency(
+        self, vertices: Iterable[int]
+    ) -> dict[int, list[tuple[int, float]]]:
+        """Adjacency restricted to ``vertices`` (used by G-tree partitioning)."""
+        keep = set(vertices)
+        return {
+            u: [(v, w) for v, w in self._adjacency[u] if v in keep] for u in keep
+        }
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the graph structure.
+
+        Counts adjacency tuples and coordinate pairs with CPython object
+        sizes; used for the "Input" rows of the index-size experiments.
+        """
+        per_entry = 72  # tuple(2) + float + int boxes, empirical CPython cost
+        adjacency = sum(len(a) for a in self._adjacency) * per_entry
+        coordinates = len(self._coordinates) * per_entry
+        return adjacency + coordinates
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._adjacency):
+            raise RoadNetworkError(
+                f"vertex {v} out of range [0, {len(self._adjacency)})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoadNetwork(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

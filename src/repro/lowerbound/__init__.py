@@ -1,0 +1,14 @@
+"""Lower Bounding Module: ALT landmarks, Euclidean, composites."""
+
+from repro.lowerbound.alt import AltLowerBounder
+from repro.lowerbound.base import LowerBounder, ZeroLowerBounder
+from repro.lowerbound.composite import CompositeLowerBounder
+from repro.lowerbound.euclidean import EuclideanLowerBounder
+
+__all__ = [
+    "AltLowerBounder",
+    "CompositeLowerBounder",
+    "EuclideanLowerBounder",
+    "LowerBounder",
+    "ZeroLowerBounder",
+]

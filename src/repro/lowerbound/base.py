@@ -1,0 +1,37 @@
+"""Lower Bounding Module interface (paper §3, module 1).
+
+A lower bounder returns a cheap value ``LB(u, v) <= d(u, v)`` for any two
+vertices.  K-SPIN's on-demand inverted heaps rank candidate objects by
+these bounds, so tightness translates directly into fewer exact network
+distance computations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class LowerBounder(abc.ABC):
+    """Cheap lower bound on the network distance between two vertices."""
+
+    name: str = "lb"
+
+    @abc.abstractmethod
+    def lower_bound(self, u: int, v: int) -> float:
+        """A value guaranteed to be ``<= d(u, v)``."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate index footprint in bytes."""
+
+
+class ZeroLowerBounder(LowerBounder):
+    """The trivial bound ``LB = 0``; useful as a degenerate baseline."""
+
+    name = "zero"
+
+    def lower_bound(self, u: int, v: int) -> float:
+        return 0.0
+
+    def memory_bytes(self) -> int:
+        return 0

@@ -1,0 +1,28 @@
+"""Composite lower bounds: the max over several heuristics.
+
+The paper's Lower Bounding Module "can consider multiple heuristics to
+allow the module to return the tightest lower-bound network distance
+overall" (§3).  The max of admissible bounds is itself admissible.
+"""
+
+from __future__ import annotations
+
+from repro.lowerbound.base import LowerBounder
+
+
+class CompositeLowerBounder(LowerBounder):
+    """Tightest bound across a set of :class:`LowerBounder` heuristics."""
+
+    name = "composite"
+
+    def __init__(self, bounders: list[LowerBounder]) -> None:
+        if not bounders:
+            raise ValueError("need at least one lower bounder")
+        self._bounders = list(bounders)
+        self.name = "max(" + ",".join(b.name for b in bounders) + ")"
+
+    def lower_bound(self, u: int, v: int) -> float:
+        return max(b.lower_bound(u, v) for b in self._bounders)
+
+    def memory_bytes(self) -> int:
+        return sum(b.memory_bytes() for b in self._bounders)

@@ -1,0 +1,58 @@
+"""Coordinate-based lower bounds.
+
+When edge weights are lengths (or lengths scaled by a known maximum
+speed), the straight-line distance between vertex coordinates divided by
+that speed lower-bounds the network distance.  This is the classic A*
+potential and a cheap second heuristic for K-SPIN's Lower Bounding
+Module, which may combine several heuristics and keep the tightest
+(paper §3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.road_network import RoadNetwork
+from repro.lowerbound.base import LowerBounder
+
+
+class EuclideanLowerBounder(LowerBounder):
+    """``LB(u, v) = ||coord(u) - coord(v)|| / max_speed``.
+
+    Parameters
+    ----------
+    graph:
+        Road network with coordinates set.
+    max_speed:
+        Upper bound on (coordinate distance / edge weight) over all
+        edges.  When omitted it is measured from the graph, which keeps
+        the bound admissible by construction.
+    """
+
+    name = "Euclidean"
+
+    def __init__(self, graph: RoadNetwork, max_speed: float | None = None) -> None:
+        self._graph = graph
+        if max_speed is None:
+            max_speed = self._measure_max_speed(graph)
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        self._max_speed = max_speed
+
+    @staticmethod
+    def _measure_max_speed(graph: RoadNetwork) -> float:
+        """Largest straight-line-distance / weight ratio over edges."""
+        best = 0.0
+        for u, v, weight in graph.edges():
+            (ux, uy), (vx, vy) = graph.coordinates(u), graph.coordinates(v)
+            length = math.hypot(ux - vx, uy - vy)
+            if length / weight > best:
+                best = length / weight
+        return best if best > 0 else 1.0
+
+    def lower_bound(self, u: int, v: int) -> float:
+        (ux, uy), (vx, vy) = self._graph.coordinates(u), self._graph.coordinates(v)
+        return math.hypot(ux - vx, uy - vy) / self._max_speed
+
+    def memory_bytes(self) -> int:
+        return 0  # reuses the graph's coordinates

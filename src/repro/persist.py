@@ -1,0 +1,71 @@
+"""Index persistence: save and load built K-SPIN instances.
+
+The paper builds the full US keyword-separated index in 1.5 hours and
+serves queries from memory; a production deployment needs to persist
+that work across restarts.  This module pickles a complete
+:class:`~repro.core.framework.KSpin` (keyword-separated index, ALT
+tables, relevance model, and the plugged-in distance oracle) behind a
+small versioned header so stale files fail loudly instead of loading
+garbage.
+
+Security note: pickle executes code on load — only load index files you
+produced yourself.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.core.framework import KSpin
+
+#: File magic + schema version; bump when on-disk layout changes.
+MAGIC = b"KSPIN-INDEX"
+VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised for malformed or incompatible index files."""
+
+
+def save_kspin(kspin: KSpin, path: str) -> int:
+    """Serialise a built K-SPIN instance to ``path``.
+
+    Returns the number of bytes written.  The graph, dataset, keyword
+    index, lower bounder, relevance model, and distance oracle are all
+    included, so :func:`load_kspin` yields a ready-to-query object.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    payload = pickle.dumps(kspin, protocol=pickle.HIGHEST_PROTOCOL)
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(VERSION.to_bytes(2, "big"))
+        handle.write(len(payload).to_bytes(8, "big"))
+        handle.write(payload)
+    return len(MAGIC) + 10 + len(payload)
+
+
+def load_kspin(path: str) -> KSpin:
+    """Load a K-SPIN instance previously saved with :func:`save_kspin`."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise PersistenceError(f"{path!r} is not a K-SPIN index file")
+        version = int.from_bytes(handle.read(2), "big")
+        if version != VERSION:
+            raise PersistenceError(
+                f"{path!r} has schema version {version}, expected {VERSION}"
+            )
+        declared = int.from_bytes(handle.read(8), "big")
+        payload = handle.read()
+    if len(payload) != declared:
+        raise PersistenceError(
+            f"{path!r} is truncated: declared {declared} bytes, "
+            f"found {len(payload)}"
+        )
+    kspin = pickle.loads(payload)
+    if not isinstance(kspin, KSpin):
+        raise PersistenceError(f"{path!r} did not contain a KSpin instance")
+    return kspin

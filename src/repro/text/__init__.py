@@ -1,0 +1,22 @@
+"""Textual substrate: documents, inverted lists, relevance, Zipf tooling."""
+
+from repro.text.documents import KeywordDataset
+from repro.text.relevance import RelevanceModel, weighted_sum_score
+from repro.text.zipf import (
+    ZipfSampler,
+    empirical_percentile_frequency,
+    fraction_at_most,
+    predicted_percentile_frequency,
+    zipf_alpha_estimate,
+)
+
+__all__ = [
+    "KeywordDataset",
+    "RelevanceModel",
+    "ZipfSampler",
+    "empirical_percentile_frequency",
+    "fraction_at_most",
+    "predicted_percentile_frequency",
+    "weighted_sum_score",
+    "zipf_alpha_estimate",
+]

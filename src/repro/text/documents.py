@@ -1,0 +1,146 @@
+"""Objects, documents, and inverted lists (paper §2).
+
+A *keyword dataset* maps object vertices (POIs) to documents: multisets
+of keywords with frequencies ``f_{t,o}``.  :class:`KeywordDataset` is the
+single source of truth for object/keyword structure used by every index
+in the repository — K-SPIN's keyword-separated index, the aggregated
+pseudo-documents of G-tree/ROAD, and FS-FBS's keyword hashes all derive
+from it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+
+class KeywordDataset:
+    """Keyword documents attached to object vertices.
+
+    Parameters
+    ----------
+    documents:
+        Mapping from object vertex id to its document: either an iterable
+        of keywords (duplicates = frequency) or a ``{keyword: frequency}``
+        mapping.
+
+    Examples
+    --------
+    >>> data = KeywordDataset({3: ["thai", "restaurant", "thai"]})
+    >>> data.frequency(3, "thai")
+    2
+    >>> data.inverted_list("restaurant")
+    (3,)
+    """
+
+    def __init__(
+        self, documents: Mapping[int, Iterable[str] | Mapping[str, int]]
+    ) -> None:
+        self._documents: dict[int, dict[str, int]] = {}
+        self._inverted: dict[str, list[int]] = {}
+        for vertex, doc in documents.items():
+            self._add_document(int(vertex), doc)
+        for objects in self._inverted.values():
+            objects.sort()
+
+    def _add_document(self, vertex: int, doc: Iterable[str] | Mapping[str, int]) -> None:
+        if isinstance(doc, Mapping):
+            counts = {str(t): int(f) for t, f in doc.items() if int(f) > 0}
+        else:
+            counts = dict(Counter(str(t) for t in doc))
+        if not counts:
+            raise ValueError(f"object {vertex} has an empty document")
+        if vertex in self._documents:
+            raise ValueError(f"object {vertex} appears twice")
+        self._documents[vertex] = counts
+        for keyword in counts:
+            self._inverted.setdefault(keyword, []).append(vertex)
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        """``|O|`` — number of object vertices."""
+        return len(self._documents)
+
+    @property
+    def num_keywords(self) -> int:
+        """``|W|`` — corpus size (unique keywords)."""
+        return len(self._inverted)
+
+    @property
+    def num_occurrences(self) -> int:
+        """``|doc(V)|`` — total keyword occurrences over all objects."""
+        return sum(sum(doc.values()) for doc in self._documents.values())
+
+    def objects(self) -> tuple[int, ...]:
+        """All object vertices, sorted."""
+        return tuple(sorted(self._documents))
+
+    def keywords(self) -> tuple[str, ...]:
+        """The corpus ``W``, sorted."""
+        return tuple(sorted(self._inverted))
+
+    def is_object(self, vertex: int) -> bool:
+        """Whether ``vertex`` carries a document."""
+        return vertex in self._documents
+
+    def document(self, vertex: int) -> dict[str, int]:
+        """``doc(o)`` as ``{keyword: frequency}``."""
+        return dict(self._documents[vertex])
+
+    def frequency(self, vertex: int, keyword: str) -> int:
+        """``f_{t,o}`` — occurrences of ``keyword`` in the document (0 if absent)."""
+        return self._documents.get(vertex, {}).get(keyword, 0)
+
+    def contains(self, vertex: int, keyword: str) -> bool:
+        """Whether ``keyword in doc(vertex)``."""
+        return keyword in self._documents.get(vertex, {})
+
+    def contains_all(self, vertex: int, keywords: Iterable[str]) -> bool:
+        """Conjunctive criterion: every keyword present."""
+        doc = self._documents.get(vertex)
+        if doc is None:
+            return False
+        return all(k in doc for k in keywords)
+
+    def contains_any(self, vertex: int, keywords: Iterable[str]) -> bool:
+        """Disjunctive criterion: at least one keyword present."""
+        doc = self._documents.get(vertex)
+        if doc is None:
+            return False
+        return any(k in doc for k in keywords)
+
+    def inverted_list(self, keyword: str) -> tuple[int, ...]:
+        """``inv(t)`` — sorted objects whose document contains ``keyword``."""
+        return tuple(self._inverted.get(keyword, ()))
+
+    def inverted_size(self, keyword: str) -> int:
+        """``|inv(t)|``."""
+        return len(self._inverted.get(keyword, ()))
+
+    def least_frequent_keyword(self, keywords: Iterable[str]) -> str:
+        """The query keyword with the smallest inverted list.
+
+        K-SPIN's conjunctive BkNN algorithm (paper §4.1.2) scans only
+        this keyword's heap because it generates the fewest candidates.
+        """
+        keywords = list(keywords)
+        if not keywords:
+            raise ValueError("need at least one keyword")
+        return min(keywords, key=lambda t: (self.inverted_size(t), t))
+
+    def frequency_rank(self) -> list[tuple[str, int]]:
+        """Keywords with inverted-list sizes, most frequent first."""
+        return sorted(
+            ((t, len(objects)) for t, objects in self._inverted.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of documents plus inverted lists."""
+        per_entry = 90
+        documents = sum(len(doc) for doc in self._documents.values())
+        inverted = sum(len(objects) for objects in self._inverted.values())
+        return (documents + inverted) * per_entry

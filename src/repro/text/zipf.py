@@ -1,0 +1,112 @@
+"""Zipf's-law tooling for keyword frequency analysis (Observation 1).
+
+The paper's light-weight pre-processing hinges on Observation 1: keyword
+inverted-list sizes follow Zipf's law, so the overwhelming majority of
+keywords have tiny inverted lists and need no NVD at all.  This module
+provides:
+
+* a Zipfian sampler used by the synthetic dataset generator,
+* the paper's closed-form percentile prediction — e.g. "80% of keywords
+  have frequency <= f_max / (0.2 |W|)" — and
+* an empirical Zipf-fit check used by tests and the dataset benchmark.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Sequence
+
+
+class ZipfSampler:
+    """Draw keyword ranks from a Zipf distribution with exponent alpha.
+
+    Rank 0 is the most frequent keyword; rank ``r`` is drawn with
+    probability proportional to ``1 / (r + 1)^alpha``.
+    """
+
+    def __init__(self, num_keywords: int, alpha: float = 1.0, seed: int = 0) -> None:
+        if num_keywords < 1:
+            raise ValueError("need at least one keyword")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.num_keywords = num_keywords
+        self.alpha = alpha
+        self._rng = random.Random(seed)
+        weights = [1.0 / (r + 1) ** alpha for r in range(num_keywords)]
+        total = 0.0
+        self._cumulative: list[float] = []
+        for w in weights:
+            total += w
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample_rank(self) -> int:
+        """One keyword rank, Zipf-distributed."""
+        u = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, u)
+
+    def sample_ranks(self, count: int) -> list[int]:
+        """``count`` independent ranks."""
+        return [self.sample_rank() for _ in range(count)]
+
+
+def predicted_percentile_frequency(
+    max_frequency: int, num_keywords: int, percentile: float = 0.8
+) -> float:
+    """The paper's Observation-1 prediction.
+
+    Under classic Zipf's law (``f_t = f_max / r_t``), a fraction
+    ``percentile`` of keywords (the long tail) have frequency at most
+    ``f_max / (percentile_complement * |W|)`` where the complement is
+    ``1 - percentile``.  For the paper's 80th percentile this is
+    ``f_max / (0.2 |W|)``.
+    """
+    if not 0.0 < percentile < 1.0:
+        raise ValueError("percentile must be in (0, 1)")
+    if num_keywords < 1 or max_frequency < 1:
+        raise ValueError("need positive corpus statistics")
+    return max_frequency / ((1.0 - percentile) * num_keywords)
+
+
+def empirical_percentile_frequency(
+    frequencies: Sequence[int], percentile: float = 0.8
+) -> int:
+    """The actual ``percentile``-th frequency of a corpus (ascending)."""
+    if not frequencies:
+        raise ValueError("no frequencies given")
+    ordered = sorted(frequencies)
+    index = min(len(ordered) - 1, int(math.floor(percentile * len(ordered))))
+    return ordered[index]
+
+
+def fraction_at_most(frequencies: Sequence[int], threshold: float) -> float:
+    """Fraction of keywords whose frequency is <= ``threshold``.
+
+    This is the quantity K-SPIN exploits: with the paper's rho = 5,
+    over 80% of keywords fall under the threshold and skip NVD
+    construction entirely.
+    """
+    if not frequencies:
+        raise ValueError("no frequencies given")
+    return sum(1 for f in frequencies if f <= threshold) / len(frequencies)
+
+
+def zipf_alpha_estimate(frequencies: Sequence[int]) -> float:
+    """Least-squares estimate of the Zipf exponent from a frequency list.
+
+    Fits ``log f = log C - alpha * log r`` over the rank-frequency curve.
+    Used by tests to confirm synthetic corpora are Zipfian (alpha near 1).
+    """
+    ordered = sorted((f for f in frequencies if f > 0), reverse=True)
+    if len(ordered) < 2:
+        raise ValueError("need at least two positive frequencies")
+    xs = [math.log(rank + 1) for rank in range(len(ordered))]
+    ys = [math.log(f) for f in ordered]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    return -covariance / variance

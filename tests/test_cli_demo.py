@@ -1,0 +1,13 @@
+"""Test for the self-contained CLI demo command."""
+
+from repro.cli import main
+
+
+def test_demo_runs_and_reports_all_queries(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "restaurant OR takeaway" in out
+    assert "thai AND restaurant" in out
+    assert "top-3 by weighted distance" in out
+    # The disjunctive 1NN on the Figure-1 world is the 3-keyword object.
+    assert "[(4, 1.0)]" in out

@@ -1,0 +1,60 @@
+"""Integration tests: every shipped example runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "city_poi_search.py",
+    "live_updates.py",
+    "oracle_comparison.py",
+    "road_trip_planner.py",
+    "one_way_streets.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_paper_answers():
+    result = run_example("quickstart.py")
+    # The three query sections must all appear with concrete results.
+    assert "Boolean 1NN, 'restaurant' OR 'takeaway'" in result.stdout
+    assert "Boolean 1NN, 'thai' AND 'restaurant'" in result.stdout
+    assert "Top-3 by weighted distance" in result.stdout
+    assert "network distance" in result.stdout
+
+
+def test_oracle_comparison_declares_identical_results():
+    result = run_example("oracle_comparison.py")
+    assert "identical results" in result.stdout
+
+
+def test_live_updates_passes_its_exactness_check():
+    result = run_example("live_updates.py")
+    assert "Exactness check vs brute force over the live state: OK" in result.stdout
+
+
+def test_road_trip_reports_segments():
+    result = run_example("road_trip_planner.py")
+    assert "segment" in result.stdout.lower()
+    assert "Route:" in result.stdout

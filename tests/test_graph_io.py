@@ -1,0 +1,89 @@
+"""Tests for DIMACS road-network I/O."""
+
+import io
+
+import pytest
+
+from repro.graph import (
+    DimacsFormatError,
+    RoadNetwork,
+    dijkstra_all,
+    perturbed_grid_network,
+    read_dimacs,
+    write_dimacs,
+)
+from repro.graph.io import _read_gr
+
+
+def test_roundtrip_preserves_structure(tmp_path):
+    original = perturbed_grid_network(5, 5, seed=3)
+    gr = tmp_path / "net.gr"
+    co = tmp_path / "net.co"
+    write_dimacs(original, str(gr), str(co))
+    loaded = read_dimacs(str(gr), str(co))
+    assert loaded.num_vertices == original.num_vertices
+    assert loaded.num_edges == original.num_edges
+    # Distances are preserved up to the integer weight scaling.
+    d_original = dijkstra_all(original, 0)
+    d_loaded = dijkstra_all(loaded, 0)
+    for a, b in zip(d_original, d_loaded):
+        assert b / 10**4 == pytest.approx(a, rel=1e-3)
+
+
+def test_roundtrip_coordinates(tmp_path):
+    g = RoadNetwork(2)
+    g.add_edge(0, 1, 5)
+    g.set_coordinates(0, 1.25, -3.5)
+    write_dimacs(g, str(tmp_path / "a.gr"), str(tmp_path / "a.co"))
+    loaded = read_dimacs(str(tmp_path / "a.gr"), str(tmp_path / "a.co"))
+    x, y = loaded.coordinates(0)
+    assert x == pytest.approx(1.25)
+    assert y == pytest.approx(-3.5)
+
+
+def test_integer_weights_written_verbatim(tmp_path):
+    g = RoadNetwork(2)
+    g.add_edge(0, 1, 7.0)
+    path = tmp_path / "b.gr"
+    write_dimacs(g, str(path))
+    assert "a 1 2 7" in path.read_text()
+
+
+def test_read_without_coordinates(tmp_path):
+    g = RoadNetwork(2)
+    g.add_edge(0, 1, 3)
+    write_dimacs(g, str(tmp_path / "c.gr"))
+    loaded = read_dimacs(str(tmp_path / "c.gr"))
+    assert loaded.edge_weight(0, 1) == 3
+
+
+def test_parse_skips_comments_and_duplicate_arcs():
+    text = "c hello\np sp 3 4\na 1 2 5\na 2 1 5\na 2 3 1\na 3 2 1\n"
+    graph = _read_gr(io.StringIO(text))
+    assert graph.num_edges == 2
+    assert graph.edge_weight(0, 1) == 5
+
+
+def test_parse_skips_self_loops():
+    graph = _read_gr(io.StringIO("p sp 2 2\na 1 1 4\na 1 2 3\n"))
+    assert graph.num_edges == 1
+
+
+def test_missing_problem_line_raises():
+    with pytest.raises(DimacsFormatError):
+        _read_gr(io.StringIO("a 1 2 3\n"))
+
+
+def test_bad_problem_line_raises():
+    with pytest.raises(DimacsFormatError):
+        _read_gr(io.StringIO("p nonsense\n"))
+
+
+def test_unknown_record_raises():
+    with pytest.raises(DimacsFormatError):
+        _read_gr(io.StringIO("p sp 2 0\nx 1 2\n"))
+
+
+def test_empty_file_raises():
+    with pytest.raises(DimacsFormatError):
+        _read_gr(io.StringIO(""))

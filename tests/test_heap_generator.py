@@ -1,0 +1,165 @@
+"""Tests for on-demand inverted heaps: Property 1 and Theorem 1."""
+
+import random
+
+import pytest
+
+from repro.core.heap_generator import HeapGenerator, InvertedHeap
+from repro.graph import dijkstra_all, perturbed_grid_network
+from repro.lowerbound import AltLowerBounder, ZeroLowerBounder
+from repro.nvd import ApproximateNVD
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return perturbed_grid_network(8, 8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def alt(grid):
+    return AltLowerBounder(grid, num_landmarks=8)
+
+
+def make_heap(grid, alt, objects, query, rho=3):
+    nvd = ApproximateNVD.build(grid, objects, rho=rho, keyword="t")
+    return InvertedHeap("t", nvd, query, grid.coordinates(query), alt), nvd
+
+
+class TestProperty1:
+    def test_yields_every_object_exactly_once(self, grid, alt):
+        rng = random.Random(1)
+        objects = sorted(rng.sample(range(grid.num_vertices), 12))
+        heap, _ = make_heap(grid, alt, objects, query=0)
+        seen = []
+        while (popped := heap.pop()) is not None:
+            seen.append(popped[0])
+        assert sorted(seen) == objects
+        assert len(set(seen)) == len(seen)
+
+    def test_bounds_nondecreasing(self, grid, alt):
+        rng = random.Random(2)
+        objects = sorted(rng.sample(range(grid.num_vertices), 15))
+        heap, _ = make_heap(grid, alt, objects, query=10)
+        bounds = []
+        while (popped := heap.pop()) is not None:
+            bounds.append(popped[1])
+        assert bounds == sorted(bounds)
+
+    def test_property1_bound_on_unseen_objects(self, grid, alt):
+        """The defining invariant: every unextracted object's true
+        distance is at least the current top's lower bound."""
+        rng = random.Random(3)
+        objects = sorted(rng.sample(range(grid.num_vertices), 14))
+        query = 30
+        truth = dijkstra_all(grid, query)
+        heap, _ = make_heap(grid, alt, objects, query=query)
+        remaining = set(objects)
+        while not heap.empty():
+            top_bound = heap.min_key()
+            for o in remaining:
+                assert truth[o] >= top_bound - 1e-9
+            popped = heap.pop()
+            if popped is None:
+                break
+            remaining.discard(popped[0])
+
+    def test_first_live_pop_is_true_1nn_by_distance(self, grid, alt):
+        """Theorem 1 corollary: the object with the minimum true distance
+        is popped before any object could violate Property 1 — with
+        exact bounds (landmark at query) the first pop is the 1NN."""
+        rng = random.Random(4)
+        objects = sorted(rng.sample(range(grid.num_vertices), 10))
+        query = 7
+        truth = dijkstra_all(grid, query)
+        heap, _ = make_heap(grid, alt, objects, query=query)
+        best = min(truth[o] for o in objects)
+        first_obj, first_bound = heap.pop()
+        assert first_bound <= best + 1e-9
+
+    def test_zero_bound_heap_still_complete(self, grid):
+        """Property 1 holds trivially with LB = 0; completeness must too."""
+        rng = random.Random(5)
+        objects = sorted(rng.sample(range(grid.num_vertices), 9))
+        nvd = ApproximateNVD.build(grid, objects, rho=3, keyword="t")
+        heap = InvertedHeap("t", nvd, 0, grid.coordinates(0), ZeroLowerBounder())
+        seen = set()
+        while (popped := heap.pop()) is not None:
+            seen.add(popped[0])
+        assert seen == set(objects)
+
+
+class TestLazyPopulation:
+    def test_initial_population_at_most_rho_plus_colocated(self, grid, alt):
+        rng = random.Random(6)
+        objects = sorted(rng.sample(range(grid.num_vertices), 20))
+        heap, _ = make_heap(grid, alt, objects, query=0, rho=4)
+        assert heap.inserted_count <= 4
+
+    def test_population_grows_lazily(self, grid, alt):
+        rng = random.Random(7)
+        objects = sorted(rng.sample(range(grid.num_vertices), 20))
+        heap, _ = make_heap(grid, alt, objects, query=0, rho=4)
+        initial = heap.inserted_count
+        heap.pop()
+        assert heap.inserted_count >= initial  # adjacency expansion
+        assert heap.inserted_count < len(objects)  # still partial
+
+    def test_small_keyword_seeds_everything(self, grid, alt):
+        heap, _ = make_heap(grid, alt, [4, 9], query=0, rho=5)
+        assert heap.inserted_count == 2
+
+    def test_lower_bound_counter(self, grid, alt):
+        heap, _ = make_heap(grid, alt, [4, 9, 13], query=0, rho=5)
+        assert heap.lower_bound_computations == 3
+
+
+class TestDeletions:
+    def test_deleted_objects_skipped_but_expanded(self, grid, alt):
+        rng = random.Random(8)
+        objects = sorted(rng.sample(range(grid.num_vertices), 12))
+        nvd = ApproximateNVD.build(grid, objects, rho=3, keyword="t")
+        deleted = objects[:4]
+        for o in deleted:
+            nvd.delete_object(o)
+        heap = InvertedHeap("t", nvd, 0, grid.coordinates(0), alt)
+        seen = []
+        while (popped := heap.pop()) is not None:
+            seen.append(popped[0])
+        assert sorted(seen) == sorted(set(objects) - set(deleted))
+
+    def test_all_deleted_yields_nothing(self, grid, alt):
+        nvd = ApproximateNVD.build(grid, [3, 8], rho=5, keyword="t")
+        nvd.delete_object(3)
+        nvd.delete_object(8)
+        heap = InvertedHeap("t", nvd, 0, grid.coordinates(0), alt)
+        assert heap.pop() is None
+
+
+class TestInsertions:
+    def test_lazy_inserted_object_discovered(self, grid, alt):
+        from repro.graph import dijkstra_distance
+
+        rng = random.Random(9)
+        objects = sorted(rng.sample(range(1, grid.num_vertices), 10))
+        nvd = ApproximateNVD.build(grid, objects, rho=3, keyword="t")
+        new_object = next(v for v in grid.vertices() if v not in set(objects))
+        nvd.insert_object(
+            new_object,
+            grid.coordinates(new_object),
+            lambda a, b: dijkstra_distance(grid, a, b),
+        )
+        heap = InvertedHeap("t", nvd, 0, grid.coordinates(0), alt)
+        seen = set()
+        while (popped := heap.pop()) is not None:
+            seen.add(popped[0])
+        assert new_object in seen
+
+
+class TestHeapGenerator:
+    def test_factory_produces_working_heaps(self, grid, alt):
+        generator = HeapGenerator(alt)
+        nvd = ApproximateNVD.build(grid, [5, 12, 40], rho=5, keyword="hotel")
+        heap = generator.heap_for("hotel", nvd, 0, grid.coordinates(0))
+        assert heap.keyword == "hotel"
+        assert not heap.empty()
+        assert heap.min_key() < float("inf")

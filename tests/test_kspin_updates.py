@@ -1,0 +1,201 @@
+"""Exactness of K-SPIN queries under lazy updates (paper §6.2)."""
+
+import random
+
+import pytest
+
+from repro.core import KSpin, brute_force_bknn, brute_force_top_k, results_equivalent
+from repro.core.updates import apply_lazy_inserts, pick_update_keywords
+from repro.distance import DijkstraOracle
+from repro.graph import perturbed_grid_network
+from repro.lowerbound import AltLowerBounder
+from repro.text import KeywordDataset, RelevanceModel
+
+from tests.test_kspin_queries import make_dataset, popular_keywords
+
+
+@pytest.fixture
+def grid():
+    return perturbed_grid_network(7, 7, seed=19)
+
+
+@pytest.fixture
+def dataset(grid):
+    return make_dataset(grid, seed=23, object_fraction=0.3, vocabulary=12)
+
+
+@pytest.fixture
+def kspin(grid, dataset):
+    return KSpin(
+        grid,
+        dataset,
+        oracle=DijkstraOracle(grid),
+        lower_bounder=AltLowerBounder(grid, num_landmarks=6),
+        rho=3,
+        rebuild_threshold=5,
+    )
+
+
+def current_dataset(grid, kspin, universe):
+    """Materialise the index's post-update state as a KeywordDataset."""
+    documents = {}
+    for v in universe:
+        doc = kspin.index.document(v)
+        live = {
+            t: f for t, f in doc.items() if kspin.index.has_keyword(v, t)
+        }
+        if live:
+            documents[v] = live
+    return KeywordDataset(documents)
+
+
+class TestObjectDeletion:
+    def test_deleted_object_never_returned(self, grid, dataset, kspin):
+        keywords = popular_keywords(dataset, 1)
+        victim = dataset.inverted_list(keywords[0])[0]
+        kspin.delete_object(victim)
+        result = kspin.bknn(0, dataset.inverted_size(keywords[0]), keywords)
+        assert victim not in {o for o, _ in result}
+
+    def test_queries_exact_after_deletions(self, grid, dataset, kspin):
+        keywords = popular_keywords(dataset, 2)
+        rng = random.Random(1)
+        victims = rng.sample(dataset.objects(), 3)
+        for v in victims:
+            kspin.delete_object(v)
+        reference = current_dataset(grid, kspin, dataset.objects())
+        for q in (0, 10, 25):
+            expected = brute_force_bknn(grid, reference, q, 5, keywords)
+            actual = kspin.bknn(q, 5, keywords)
+            assert results_equivalent(actual, expected)
+
+    def test_delete_unknown_raises(self, kspin, grid):
+        empty_vertex = next(
+            v for v in grid.vertices() if not kspin.index.document(v)
+        )
+        with pytest.raises(KeyError):
+            kspin.delete_object(empty_vertex)
+
+
+class TestObjectInsertion:
+    def test_inserted_object_findable(self, grid, dataset, kspin):
+        new_vertex = next(
+            v for v in grid.vertices() if not dataset.is_object(v)
+        )
+        kspin.insert_object(new_vertex, ["brand-new-keyword"])
+        result = kspin.bknn(new_vertex, 1, ["brand-new-keyword"])
+        assert result == [(new_vertex, 0.0)]
+
+    def test_queries_exact_after_insertions(self, grid, dataset, kspin):
+        keywords = popular_keywords(dataset, 2)
+        free = [v for v in grid.vertices() if not dataset.is_object(v)][:4]
+        for v in free:
+            kspin.insert_object(v, [keywords[0]])
+        universe = list(dataset.objects()) + free
+        reference = current_dataset(grid, kspin, universe)
+        for q in (0, 12, 30):
+            expected = brute_force_bknn(grid, reference, q, 5, keywords)
+            actual = kspin.bknn(q, 5, keywords)
+            assert results_equivalent(actual, expected)
+
+    def test_topk_exact_after_insertions(self, grid, dataset, kspin):
+        """Top-k after lazy inserts matches brute force under the
+        documented semantics: IDF (query impacts) stays frozen at build
+        time until a rebuild; object impacts reflect live documents."""
+        from repro.graph import dijkstra_all
+
+        keywords = popular_keywords(dataset, 2)
+        free = [v for v in grid.vertices() if not dataset.is_object(v)][:3]
+        for v in free:
+            kspin.insert_object(v, {keywords[0]: 2, keywords[1]: 1})
+        universe = list(dataset.objects()) + free
+        reference = current_dataset(grid, kspin, universe)
+        query_impacts = kspin.relevance.query_impacts(keywords)
+        for q in (0, 20):
+            distances = dijkstra_all(grid, q)
+            scored = []
+            for o in reference.objects():
+                tr = kspin.relevance.relevance_from_document(
+                    reference.document(o), query_impacts
+                )
+                if tr > 0:
+                    scored.append((distances[o] / tr, o))
+            scored.sort()
+            expected = [(o, s) for s, o in scored[:5]]
+            actual = kspin.top_k(q, 5, keywords)
+            assert results_equivalent(actual, expected)
+
+    def test_empty_document_rejected(self, kspin):
+        with pytest.raises(ValueError):
+            kspin.insert_object(0, [])
+
+
+class TestKeywordUpdates:
+    def test_add_keyword_makes_object_match(self, grid, dataset, kspin):
+        obj = dataset.objects()[0]
+        kspin.add_keyword(obj, "added-keyword")
+        result = kspin.bknn(obj, 1, ["added-keyword"])
+        assert result == [(obj, 0.0)]
+
+    def test_remove_keyword_stops_matching(self, grid, dataset, kspin):
+        keyword = popular_keywords(dataset, 1)[0]
+        obj = dataset.inverted_list(keyword)[0]
+        kspin.remove_keyword(obj, keyword)
+        size = dataset.inverted_size(keyword)
+        result = kspin.bknn(0, size, [keyword])
+        assert obj not in {o for o, _ in result}
+
+    def test_remove_missing_keyword_raises(self, dataset, kspin):
+        with pytest.raises(KeyError):
+            kspin.remove_keyword(dataset.objects()[0], "never-there")
+
+    def test_add_keyword_validation(self, dataset, kspin):
+        with pytest.raises(ValueError):
+            kspin.add_keyword(dataset.objects()[0], "x", frequency=0)
+
+
+class TestRebuild:
+    def test_rebuild_after_threshold(self, grid, dataset, kspin):
+        keyword = popular_keywords(dataset, 1)[0]
+        free = [v for v in grid.vertices() if not dataset.is_object(v)][:6]
+        for v in free:
+            kspin.insert_object(v, [keyword])
+        rebuilt = kspin.rebuild_pending()
+        assert keyword in rebuilt
+        assert kspin.index.nvd(keyword).pending_updates == 0
+
+    def test_queries_exact_after_rebuild(self, grid, dataset, kspin):
+        keyword = popular_keywords(dataset, 1)[0]
+        free = [v for v in grid.vertices() if not dataset.is_object(v)][:6]
+        for v in free:
+            kspin.insert_object(v, [keyword])
+        kspin.rebuild_pending()
+        universe = list(dataset.objects()) + free
+        reference = current_dataset(grid, kspin, universe)
+        expected = brute_force_bknn(grid, reference, 0, 5, [keyword])
+        actual = kspin.bknn(0, 5, [keyword])
+        assert results_equivalent(actual, expected)
+
+
+class TestUpdateInstrumentation:
+    def test_pick_update_keywords_spread(self, dataset):
+        chosen = pick_update_keywords(dataset, rho=2)
+        assert set(chosen) == {"large", "medium", "small"}
+        sizes = {label: dataset.inverted_size(kw) for label, kw in chosen.items()}
+        assert sizes["large"] >= sizes["medium"] >= sizes["small"]
+        assert all(size > 2 for size in sizes.values())
+
+    def test_pick_update_keywords_small_corpus(self):
+        tiny = KeywordDataset({1: ["a"], 2: ["a"]})
+        with pytest.raises(ValueError):
+            pick_update_keywords(tiny, rho=5)
+
+    def test_apply_lazy_inserts_measures_costs(self, grid, dataset, kspin):
+        keyword = popular_keywords(dataset, 1)[0]
+        nvd = kspin.index.nvd(keyword)
+        costs = apply_lazy_inserts(nvd, grid, 0.2, kspin.oracle.distance)
+        assert costs.inserted >= 1
+        assert costs.mean_insert_seconds >= 0.0
+        assert costs.rebuild_seconds > 0.0
+        with pytest.raises(ValueError):
+            apply_lazy_inserts(nvd, grid, 0.0, kspin.oracle.distance)

@@ -1,0 +1,103 @@
+"""Tests for serial/parallel keyword-separated index construction."""
+
+import pytest
+
+from repro.graph import perturbed_grid_network
+from repro.nvd import (
+    available_cores,
+    build_keyword_nvds,
+    parallel_efficiency,
+    simulated_parallel_makespan,
+)
+from repro.text import KeywordDataset
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return perturbed_grid_network(6, 6, seed=1)
+
+
+@pytest.fixture(scope="module")
+def dataset(grid):
+    documents = {
+        0: ["hotel", "bar"],
+        5: ["hotel"],
+        9: ["restaurant", "thai"],
+        14: ["restaurant"],
+        20: ["hotel", "restaurant"],
+        22: ["thai"],
+        30: ["hotel"],
+        33: ["hotel", "thai", "restaurant"],
+        35: ["bar"],
+        17: ["hotel", "bar"],
+        11: ["hotel"],
+        28: ["hotel"],
+    }
+    return KeywordDataset(documents)
+
+
+class TestSerialBuild:
+    def test_every_keyword_indexed(self, grid, dataset):
+        index = build_keyword_nvds(grid, dataset, rho=3)
+        assert set(index) == set(dataset.keywords())
+
+    def test_small_keywords_skip_nvd(self, grid, dataset):
+        index = build_keyword_nvds(grid, dataset, rho=3)
+        # "bar" has 3 objects <= rho -> no quadtree (Observation 1).
+        assert index["bar"].is_small
+        # "hotel" has 8 objects > rho -> full APX-NVD.
+        assert not index["hotel"].is_small
+
+    def test_objects_match_inverted_lists(self, grid, dataset):
+        index = build_keyword_nvds(grid, dataset, rho=3)
+        for keyword in dataset.keywords():
+            assert index[keyword].live_objects() == set(
+                dataset.inverted_list(keyword)
+            )
+
+
+class TestParallelBuild:
+    def test_parallel_matches_serial(self, grid, dataset):
+        serial = build_keyword_nvds(grid, dataset, rho=3, workers=1)
+        parallel = build_keyword_nvds(grid, dataset, rho=3, workers=2)
+        assert set(serial) == set(parallel)
+        for keyword in serial:
+            assert serial[keyword].live_objects() == parallel[keyword].live_objects()
+            assert serial[keyword].adjacency == parallel[keyword].adjacency
+
+    def test_available_cores_positive(self):
+        assert available_cores() >= 1
+
+
+class TestMakespanModel:
+    def test_single_core_is_serial_sum(self):
+        times = [3.0, 1.0, 2.0]
+        assert simulated_parallel_makespan(times, 1) == pytest.approx(6.0)
+
+    def test_many_cores_bounded_by_longest_task(self):
+        times = [5.0, 1.0, 1.0, 1.0]
+        assert simulated_parallel_makespan(times, 100) == pytest.approx(5.0)
+
+    def test_speedup_monotone_in_cores(self):
+        times = [1.0] * 64
+        spans = [simulated_parallel_makespan(times, c) for c in (1, 2, 4, 8, 16)]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulated_parallel_makespan([1.0], 0)
+        assert simulated_parallel_makespan([], 4) == 0.0
+
+    def test_efficiency_metric(self):
+        # Perfect scaling: T_p = T_1 / p -> efficiency 1.
+        assert parallel_efficiency(16.0, 4.0, 4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(16.0, 0.0, 4)
+
+    def test_lpt_high_efficiency_on_many_small_tasks(self):
+        """Observation 3: per-keyword builds parallelise near-perfectly."""
+        times = [0.01 * (i % 7 + 1) for i in range(500)]
+        serial = sum(times)
+        for cores in (2, 4, 8, 16):
+            span = simulated_parallel_makespan(times, cores)
+            assert parallel_efficiency(serial, span, cores) > 0.8

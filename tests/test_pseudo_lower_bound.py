@@ -1,0 +1,141 @@
+"""Unit tests for Algorithm 2 (pseudo lower-bound scores) and Lemma 1."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import KSpin
+from repro.core.heap_generator import HeapGenerator
+from repro.core.query_processor import QueryProcessor, _TopKList
+from repro.distance import DijkstraOracle
+from repro.graph import perturbed_grid_network
+from repro.lowerbound import AltLowerBounder
+from repro.text import RelevanceModel
+
+from tests.test_kspin_queries import make_dataset, popular_keywords
+
+
+@pytest.fixture(scope="module")
+def world():
+    grid = perturbed_grid_network(8, 8, seed=31)
+    dataset = make_dataset(grid, seed=31, object_fraction=0.35, vocabulary=10)
+    kspin = KSpin(
+        grid,
+        dataset,
+        oracle=DijkstraOracle(grid),
+        lower_bounder=AltLowerBounder(grid, num_landmarks=6),
+        rho=3,
+    )
+    return grid, dataset, kspin
+
+
+def build_heaps(world, keywords, query):
+    grid, _, kspin = world
+    processor = kspin.processor
+    from repro.core.query_processor import QueryStats
+
+    return processor, processor._create_heaps(query, keywords, QueryStats())
+
+
+class TestAlgorithm2:
+    def test_lemma1_pseudo_never_below_valid(self, world):
+        """Lemma 1: ST_pLB(H_i) >= ST_all(H_i) for every heap, always."""
+        grid, dataset, kspin = world
+        keywords = popular_keywords(dataset, 3)
+        rng = random.Random(2)
+        for _ in range(10):
+            q = rng.randrange(grid.num_vertices)
+            processor, heaps = build_heaps(world, keywords, q)
+            impacts = kspin.relevance.query_impacts(keywords)
+            heap_keywords = [h.keyword for h in heaps]
+            # Walk a few extractions, checking the lemma at each state.
+            for _ in range(6):
+                for i in range(len(heaps)):
+                    pseudo = processor._pseudo_lower_bound(
+                        heaps, i, heap_keywords, impacts
+                    )
+                    valid = processor._valid_lower_bound(heaps[i], keywords, impacts)
+                    assert pseudo >= valid - 1e-12
+                busiest = min(
+                    range(len(heaps)),
+                    key=lambda i: heaps[i].min_key(),
+                )
+                if heaps[busiest].min_key() == math.inf:
+                    break
+                heaps[busiest].pop()
+
+    def test_heap_with_smallest_minkey_gets_full_relevance_only_if_max(self, world):
+        """The heap with the largest MINKEY assumes all keywords present."""
+        grid, dataset, kspin = world
+        keywords = popular_keywords(dataset, 3)
+        processor, heaps = build_heaps(world, keywords, 5)
+        if len(heaps) < 2:
+            pytest.skip("not enough heaps")
+        impacts = kspin.relevance.query_impacts(keywords)
+        heap_keywords = [h.keyword for h in heaps]
+        largest = max(range(len(heaps)), key=lambda i: heaps[i].min_key())
+        full_relevance = sum(
+            impacts.get(t, 0.0) * kspin.relevance.max_impact(t)
+            for t in heap_keywords
+        )
+        pseudo = processor._pseudo_lower_bound(heaps, largest, heap_keywords, impacts)
+        if heaps[largest].min_key() < math.inf and full_relevance > 0:
+            assert pseudo == pytest.approx(
+                heaps[largest].min_key() / full_relevance
+            )
+
+    def test_empty_heap_pseudo_infinite(self, world):
+        grid, dataset, kspin = world
+        keywords = popular_keywords(dataset, 2)
+        processor, heaps = build_heaps(world, keywords, 0)
+        heap = heaps[0]
+        while not heap.empty():
+            heap.pop()
+        impacts = kspin.relevance.query_impacts(keywords)
+        pseudo = processor._pseudo_lower_bound(
+            heaps, 0, [h.keyword for h in heaps], impacts
+        )
+        assert pseudo == math.inf
+
+    def test_paper_worked_example(self):
+        """Example 2 of the paper with simplified count-based relevance.
+
+        Heaps with MINKEYs 2.7 / 2.4 / 1.8 and unit impacts yield pseudo
+        relevances 3 / 2 / 1 and scores 0.9 / 1.2 / 1.8.
+        """
+        min_keys = {"italian": 2.7, "restaurant": 2.4, "takeaway": 1.8}
+
+        def pseudo(i_keyword):
+            tr = sum(
+                1.0
+                for j_keyword in min_keys
+                if min_keys[i_keyword] >= min_keys[j_keyword]
+            )
+            return min_keys[i_keyword] / tr
+
+        assert pseudo("italian") == pytest.approx(0.9)
+        assert pseudo("restaurant") == pytest.approx(1.2)
+        assert pseudo("takeaway") == pytest.approx(1.8)
+
+
+class TestTopKList:
+    def test_threshold_infinite_until_full(self):
+        top = _TopKList(3)
+        top.offer(1, 5.0)
+        assert top.threshold() == math.inf
+        top.offer(2, 3.0)
+        top.offer(3, 4.0)
+        assert top.threshold() == 5.0
+
+    def test_replacement_keeps_best(self):
+        top = _TopKList(2)
+        for obj, score in [(1, 5.0), (2, 3.0), (3, 4.0), (4, 1.0)]:
+            top.offer(obj, score)
+        assert top.sorted_results() == [(4, 1.0), (2, 3.0)]
+
+    def test_worse_offer_ignored(self):
+        top = _TopKList(1)
+        top.offer(1, 1.0)
+        top.offer(2, 9.0)
+        assert top.sorted_results() == [(1, 1.0)]

@@ -1,0 +1,121 @@
+"""Unit tests for the RoadNetwork graph structure."""
+
+import pytest
+
+from repro.graph import RoadNetwork, RoadNetworkError
+
+
+def triangle() -> RoadNetwork:
+    g = RoadNetwork(3)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 2.0)
+    g.add_edge(0, 2, 4.0)
+    return g
+
+
+class TestConstruction:
+    def test_empty_network_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork(0)
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork(-5)
+
+    def test_counts(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_self_loop_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(RoadNetworkError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(RoadNetworkError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(RoadNetworkError):
+            g.add_edge(0, 1, -3.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(RoadNetworkError):
+            g.add_edge(0, 2, 1.0)
+        with pytest.raises(RoadNetworkError):
+            g.add_edge(-1, 0, 1.0)
+
+    def test_parallel_edge_keeps_minimum_weight(self):
+        g = RoadNetwork(2)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 3.0)
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 3.0
+        g.add_edge(0, 1, 7.0)  # larger weight is ignored
+        assert g.edge_weight(0, 1) == 3.0
+        assert g.edge_weight(1, 0) == 3.0
+
+
+class TestInspection:
+    def test_neighbors_symmetric(self):
+        g = triangle()
+        assert (1, 1.0) in g.neighbors(0)
+        assert (0, 1.0) in g.neighbors(1)
+
+    def test_degree(self):
+        g = triangle()
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_edge_weight_absent(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, 1.0)
+        assert g.edge_weight(0, 2) is None
+        assert not g.has_edge(0, 2)
+        assert g.has_edge(1, 0)
+
+    def test_edges_iterates_each_once(self):
+        g = triangle()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+    def test_coordinates_roundtrip(self):
+        g = RoadNetwork(2)
+        g.set_coordinates(1, 3.5, -2.25)
+        assert g.coordinates(1) == (3.5, -2.25)
+        assert g.coordinates(0) == (0.0, 0.0)
+
+    def test_bounding_box(self):
+        g = RoadNetwork(3)
+        g.set_coordinates(0, -1.0, 2.0)
+        g.set_coordinates(1, 4.0, -3.0)
+        g.set_coordinates(2, 0.0, 0.0)
+        assert g.bounding_box() == (-1.0, -3.0, 4.0, 2.0)
+
+
+class TestConnectivity:
+    def test_connected_triangle(self):
+        assert triangle().is_connected()
+
+    def test_disconnected(self):
+        g = RoadNetwork(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        assert not g.is_connected()
+        assert g.component_of(0) == {0, 1}
+        assert g.component_of(3) == {2, 3}
+
+    def test_subgraph_adjacency_excludes_outside_edges(self):
+        g = triangle()
+        sub = g.subgraph_adjacency([0, 1])
+        assert set(sub) == {0, 1}
+        assert sub[0] == [(1, 1.0)]
+        assert sub[1] == [(0, 1.0)]
+
+    def test_memory_bytes_positive_and_monotone(self):
+        small = RoadNetwork(2)
+        small.add_edge(0, 1, 1.0)
+        assert small.memory_bytes() > 0
+        big = triangle()
+        assert big.memory_bytes() > small.memory_bytes()
