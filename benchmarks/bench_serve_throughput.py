@@ -1,0 +1,104 @@
+"""Serving throughput: the Table-1 experiment, re-framed as a service.
+
+The paper's Table 1 reports query throughput over a memory-resident
+index; this benchmark measures the *served* analogue.  It boots a
+``repro.serve`` server over a ladder dataset, replays a Zipf-skewed
+workload (popular queries repeat, as real traffic does) through real
+HTTP at an increasing client-concurrency ladder, and records a
+throughput/latency trajectory to ``benchmarks/results/serve_throughput.json``.
+
+Checked along the way:
+
+* every served response is identical to a single-threaded ``KSpin``
+  answer (exactness survives concurrency),
+* the result cache earns a non-zero hit rate on the skewed workload,
+* nothing is shed or errored at these offered loads.
+"""
+
+from repro.bench import save_result
+from repro.core import KSpin
+from repro.datasets import load_dataset, WorkloadGenerator
+from repro.distance import ContractionHierarchy
+from repro.lowerbound import AltLowerBounder
+from repro.serve import Engine, QueryServer, ServeClient, replay
+
+DATASET = "ME-S"
+CONCURRENCY_LADDER = [1, 2, 4, 8]
+REQUESTS_PER_RUNG = 120
+NUM_DISTINCT = 24
+NUM_TERMS = 2
+K = 10
+SERVER_WORKERS = 8
+
+
+def run_benchmark() -> dict:
+    world = load_dataset(DATASET)
+    kspin = KSpin(
+        world.graph,
+        world.keywords,
+        oracle=ContractionHierarchy(world.graph),
+        lower_bounder=AltLowerBounder(world.graph, num_landmarks=8),
+    )
+    generator = WorkloadGenerator(world.graph, world.keywords, seed=11)
+    queries = generator.zipf_queries(
+        NUM_TERMS, REQUESTS_PER_RUNG, num_distinct=NUM_DISTINCT
+    )
+    # Ground truth from the same (single-threaded) instance, pre-computed
+    # so the comparison cannot be satisfied by a stale cache.
+    expected = {
+        (q.vertex, q.keywords): kspin.bknn(q.vertex, K, list(q.keywords))
+        for q in queries
+    }
+
+    engine = Engine(kspin, cache_size=1024)
+    rungs = []
+    with QueryServer(
+        engine, port=0, workers=SERVER_WORKERS, max_queue=256
+    ).start_background() as server:
+        client = ServeClient(server.url)
+        for concurrency in CONCURRENCY_LADDER:
+            engine.cache.invalidate_all()  # each rung earns its own hits
+            result = replay(client, queries, concurrency, k=K, kind="bknn")
+            assert result.errors == 0 and result.shed == 0, result.as_dict()
+            rungs.append(result.as_dict())
+            print(
+                f"  c={concurrency:>2}: {result.qps:8.1f} qps  "
+                f"p50={result.p50_ms:6.2f}ms  p95={result.p95_ms:6.2f}ms  "
+                f"hits={result.cache_hits}/{result.requests}"
+            )
+        # Exactness under the highest concurrency: every distinct query
+        # answered through the server equals the direct KSpin answer.
+        for query in {(q.vertex, q.keywords): q for q in queries}.values():
+            served = client.bknn(query.vertex, K, list(query.keywords))
+            assert [
+                (obj, value) for obj, value in served["results"]
+            ] == expected[(query.vertex, query.keywords)], query
+        metrics = client.metrics()
+
+    assert any(r["cache_hits"] > 0 for r in rungs), "Zipf replay never hit cache"
+    payload = {
+        "dataset": DATASET,
+        "oracle": "ch",
+        "server_workers": SERVER_WORKERS,
+        "requests_per_rung": REQUESTS_PER_RUNG,
+        "distinct_queries": NUM_DISTINCT,
+        "k": K,
+        "rungs": rungs,
+        "final_metrics": metrics,
+    }
+    save_result("serve_throughput", payload)
+    return payload
+
+
+def test_serve_throughput():
+    payload = run_benchmark()
+    assert len(payload["rungs"]) == len(CONCURRENCY_LADDER)
+    top = payload["rungs"][-1]
+    assert top["concurrency"] >= 4 and top["ok"] == top["requests"]
+    assert payload["final_metrics"]["cache"]["hit_rate"] > 0
+
+
+if __name__ == "__main__":
+    print(f"Serve throughput over {DATASET} (Zipf-skewed workload)")
+    run_benchmark()
+    print("wrote benchmarks/results/serve_throughput.json")

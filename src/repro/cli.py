@@ -9,6 +9,8 @@ Commands
     save it to disk.
 ``query``
     Load a saved index and answer a BkNN or top-k query.
+``serve``
+    Hold an index in memory and serve concurrent HTTP/JSON queries.
 ``demo``
     Run the Figure-1 quickstart end to end.
 
@@ -19,7 +21,9 @@ Examples
     python -m repro stats
     python -m repro build --dataset FL-S --oracle ch --out /tmp/fl.kspin
     python -m repro query --index /tmp/fl.kspin --vertex 100 \
-        --keywords kw0001 kw0002 --kind topk --k 5
+        --keywords kw0001 kw0002 --kind topk --k 5 --stats
+    python -m repro serve --index /tmp/fl.kspin --port 8080 --workers 8
+    curl 'http://127.0.0.1:8080/bknn?vertex=100&k=5&keywords=kw0001'
 """
 
 from __future__ import annotations
@@ -141,6 +145,67 @@ def _cmd_query(args: argparse.Namespace) -> int:
     stats = kspin.last_stats
     print(f"  cost: {stats.distance_computations} exact distances, "
           f"{stats.lower_bound_computations} lower bounds")
+    if args.stats:
+        print("  cost model (paper §5.1):")
+        print(f"    iterations (kappa):      {stats.iterations}")
+        print(f"    distance computations:   {stats.distance_computations}")
+        print(f"    lower-bound evaluations: {stats.lower_bound_computations}")
+        print(f"    heap insertions:         {stats.heap_insertions}")
+        print(f"    heaps created:           {stats.heaps_created}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import Engine, QueryServer
+
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.cache_size < 0:
+        print("error: --cache-size must be non-negative", file=sys.stderr)
+        return 2
+    if args.queue_size < 0:
+        print("error: --queue-size must be non-negative", file=sys.stderr)
+        return 2
+    if args.index:
+        from repro.persist import load_kspin
+
+        print(f"Loading index from {args.index} ...")
+        kspin = load_kspin(args.index)
+    else:
+        from repro.core import KSpin
+        from repro.datasets import load_dataset
+        from repro.lowerbound import AltLowerBounder
+
+        print(f"Building {args.dataset} with the {args.oracle} oracle ...")
+        dataset = load_dataset(args.dataset)
+        kspin = KSpin(
+            dataset.graph,
+            dataset.keywords,
+            oracle=_build_oracle(args.oracle, dataset.graph),
+            lower_bounder=AltLowerBounder(
+                dataset.graph, num_landmarks=args.landmarks
+            ),
+        )
+    engine = Engine(kspin, cache_size=args.cache_size)
+    server = QueryServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.queue_size,
+        deadline=args.deadline,
+        verbose=args.verbose,
+    )
+    print(f"Serving {kspin.graph.num_vertices}-vertex index on {server.url}")
+    print("Endpoints: /bknn /topk /update /healthz /metrics  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nShutting down.")
+    finally:
+        server.pool.close(wait=False)
+        server.server_close()
     return 0
 
 
@@ -220,6 +285,32 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--kind", default="bknn",
                        choices=["bknn", "bknn-and", "topk"])
     query.add_argument("--k", type=int, default=10)
+    query.add_argument("--stats", action="store_true",
+                       help="print the full §5.1 cost-model counters")
+
+    serve = commands.add_parser(
+        "serve", help="serve concurrent HTTP/JSON queries from memory"
+    )
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument("--index", help="saved index file (from `build`)")
+    source.add_argument("--dataset", default="ME-S",
+                        help="ladder dataset to build on boot (default ME-S)")
+    serve.add_argument("--oracle", default="ch",
+                       choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"],
+                       help="distance oracle when building from --dataset")
+    serve.add_argument("--landmarks", type=int, default=16)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--queue-size", type=int, default=64,
+                       help="admitted requests allowed to wait (503 beyond)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline in seconds (504 when missed)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
 
     commands.add_parser("demo", help="run the Figure-1 quickstart")
     return parser
@@ -231,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "build": _cmd_build,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

@@ -15,6 +15,19 @@ which inserts the extracted object's NVD-adjacent objects.
 
 Tombstoned (deleted) objects still route expansion but are never
 reported (paper §6.2, Object Deletion).
+
+Thread safety
+-------------
+:class:`HeapGenerator` is stateless and :class:`InvertedHeap` is
+per-query (all mutation — ``_heap``, ``_inserted``, the counters — is
+confined to the creating thread), so concurrent queries never share a
+heap.  What heaps *read* is shared: the keyword's
+:class:`~repro.nvd.approximate.ApproximateNVD` (``seed_objects``,
+``neighbors``, ``is_deleted`` iterate its sets) and the lower bounder.
+Those reads are only safe while no update is mutating the same diagram;
+the serving layer (:class:`repro.serve.Engine`) guarantees this with a
+readers-writer lock — queries in read mode, §6.2 updates in write mode.
+Library users mixing threads must do the same.
 """
 
 from __future__ import annotations

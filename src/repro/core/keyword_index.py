@@ -8,6 +8,23 @@ Construction honours all three observations: small keywords skip NVD
 construction (Observation 1), only adjacency graphs and quadtrees are
 retained (Observation 2a/2b), and building can fan out over worker
 processes (Observation 3).
+
+Thread safety
+-------------
+The read side (:meth:`nvd`, :meth:`has_keyword`, :meth:`document`,
+:meth:`inverted_size`) is safe under concurrent *queries*: it only
+reads dicts/sets, and the keyword-separated layout means two queries
+never contend on each other's diagrams.  The update side mutates the
+overlay dicts and per-keyword diagrams (tombstone sets, co-location
+dicts, adjacency sets) that query-side heap expansion iterates — a
+concurrent update can therefore raise ``RuntimeError: set changed size
+during iteration`` mid-query.  Callers mixing queries and updates
+across threads must hold queries in read mode and updates in write mode
+of an external readers-writer lock, as :class:`repro.serve.Engine`
+does.  Diagram *swaps* (``rebuild_pending`` and the background
+rebuilder) are safe without it: replacing ``_nvds[keyword]`` is a
+single atomic dict assignment and in-flight heaps keep the old diagram
+alive via their own reference.
 """
 
 from __future__ import annotations

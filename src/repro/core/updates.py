@@ -77,8 +77,20 @@ class BackgroundRebuilder:
         self._tasks: queue.Queue[str | None] = queue.Queue()
         self._rebuilt: list[str] = []
         self._errors: list[tuple[str, Exception]] = []
+        self._listeners: list = []
         self._worker = threading.Thread(target=self._run, daemon=True)
         self._worker.start()
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(keyword)`` to fire after each diagram swap.
+
+        This is the serving layer's cache-invalidation hook: a freshly
+        rebuilt diagram can reorder heap expansion, so any cached result
+        that read the old diagram must be evicted the moment the swap
+        lands (e.g. ``rebuilder.add_listener(engine.on_rebuilt)``).
+        Listeners run on the worker thread and must be thread-safe.
+        """
+        self._listeners.append(listener)
 
     def _run(self) -> None:
         while True:
@@ -93,6 +105,8 @@ class BackgroundRebuilder:
                 # Atomic swap: dict item assignment is a single bytecode.
                 self._index._nvds[keyword] = fresh
                 self._rebuilt.append(keyword)
+                for listener in self._listeners:
+                    listener(keyword)
             except Exception as error:  # pragma: no cover - defensive
                 self._errors.append((keyword or "?", error))
             finally:

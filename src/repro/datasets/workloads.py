@@ -131,6 +131,41 @@ class WorkloadGenerator:
                 workload.append(Query(vertex=vertex, keywords=vector))
         return workload
 
+    def zipf_queries(
+        self,
+        num_terms: int,
+        num_queries: int,
+        num_distinct: int = 32,
+        alpha: float = 1.0,
+    ) -> list[Query]:
+        """A Zipf-skewed serving workload: popular queries repeat.
+
+        Real query traffic is heavily skewed — a handful of
+        (location, keywords) combinations dominate — which is what makes
+        result caching worthwhile for a query service.  This draws a
+        pool of ``num_distinct`` distinct queries (correlated keyword
+        vectors paired with uniform vertices, as in :meth:`queries`) and
+        then samples ``num_queries`` requests from the pool with
+        rank ``r`` chosen proportionally to ``1 / (r + 1)^alpha``, so
+        rank 0 is requested far more often than the tail.
+        """
+        if num_queries < 1 or num_distinct < 1:
+            raise ValueError("need positive query and pool sizes")
+        from repro.text.zipf import ZipfSampler
+
+        vectors = self.keyword_vectors(num_terms)
+        if not vectors:
+            raise ValueError("workload generator produced no keyword vectors")
+        pool: list[Query] = []
+        while len(pool) < num_distinct:
+            vector = vectors[len(pool) % len(vectors)]
+            vertex = self._rng.randrange(self._graph.num_vertices)
+            pool.append(Query(vertex=vertex, keywords=vector))
+        sampler = ZipfSampler(
+            len(pool), alpha=alpha, seed=self._rng.randrange(2**31)
+        )
+        return [pool[rank] for rank in sampler.sample_ranks(num_queries)]
+
     def single_keyword_queries_by_density(
         self,
         buckets: list[float],

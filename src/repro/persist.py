@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 
 from repro.core.framework import KSpin
 
@@ -34,16 +35,36 @@ def save_kspin(kspin: KSpin, path: str) -> int:
     Returns the number of bytes written.  The graph, dataset, keyword
     index, lower bounder, relevance model, and distance oracle are all
     included, so :func:`load_kspin` yields a ready-to-query object.
+
+    The write is **atomic**: bytes go to a temp file in the same
+    directory which is ``os.replace``-d over ``path`` only after a
+    successful flush-and-fsync, so a crash mid-save (or two concurrent
+    saves) can never leave a truncated index for a booting server —
+    readers see either the old complete file or the new complete file.
     """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
     payload = pickle.dumps(kspin, protocol=pickle.HIGHEST_PROTOCOL)
-    with open(path, "wb") as handle:
-        handle.write(MAGIC)
-        handle.write(VERSION.to_bytes(2, "big"))
-        handle.write(len(payload).to_bytes(8, "big"))
-        handle.write(payload)
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp",
+        dir=directory or ".",
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(VERSION.to_bytes(2, "big"))
+            handle.write(len(payload).to_bytes(8, "big"))
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
     return len(MAGIC) + 10 + len(payload)
 
 

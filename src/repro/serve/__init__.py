@@ -1,0 +1,42 @@
+"""``repro.serve`` — the concurrent query-serving subsystem.
+
+Turns a built :class:`~repro.core.framework.KSpin` into a long-running
+service: a thread-safe :class:`Engine` with a keyword-aware LRU result
+cache, a bounded :class:`WorkerPool` that sheds overload instead of
+queueing it, and a stdlib HTTP/JSON front end (:class:`QueryServer`)
+with a load-generation client (:class:`ServeClient`).
+
+Quick use::
+
+    from repro.persist import load_kspin
+    from repro.serve import Engine, QueryServer
+
+    engine = Engine(load_kspin("fl.kspin"), cache_size=4096)
+    with QueryServer(engine, port=8080, workers=8).start_background() as server:
+        ...  # curl http://127.0.0.1:8080/bknn?vertex=5&k=3&keywords=thai
+"""
+
+from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
+from repro.serve.cache import ResultCache, result_key
+from repro.serve.engine import Engine, EngineResult
+from repro.serve.http import QueryServer
+from repro.serve.loadgen import LoadResult, ServeClient, replay
+from repro.serve.locks import ReadWriteLock
+from repro.serve.metrics import LatencyRecorder, ServerMetrics
+
+__all__ = [
+    "DeadlineExceeded",
+    "Engine",
+    "EngineResult",
+    "LatencyRecorder",
+    "LoadResult",
+    "QueryServer",
+    "ReadWriteLock",
+    "ResultCache",
+    "ServeClient",
+    "ServerMetrics",
+    "ServerSaturated",
+    "WorkerPool",
+    "replay",
+    "result_key",
+]

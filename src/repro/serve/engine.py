@@ -1,0 +1,224 @@
+"""The serving engine: a thread-safe facade over a built ``KSpin``.
+
+Why a wrapper is needed at all
+------------------------------
+The core framework is written for one caller at a time:
+
+* ``QueryProcessor.last_stats`` is one mutable slot per processor —
+  two concurrent queries through the same processor race on it.
+* Updates mutate per-keyword APX-NVD structures (tombstone sets,
+  co-location dicts, adjacency sets) that concurrent queries iterate.
+
+:class:`Engine` makes the pair safe without serialising the hot path:
+
+* **Per-thread query processors.**  Every worker thread gets its own
+  :class:`~repro.core.query_processor.QueryProcessor` sharing the heavy
+  read-only components (graph, keyword index, relevance model, distance
+  oracle, heap generator), so ``last_stats`` is thread-private and the
+  read path takes no lock of its own.
+* **A readers-writer lock.**  Queries hold it in read mode (unbounded
+  concurrency — K-SPIN queries touch disjoint per-keyword heaps);
+  updates hold it in write mode, and invalidate the result cache
+  *before* releasing so no stale entry survives an update.
+* **A keyword-aware LRU result cache** keyed on
+  ``(vertex, frozenset(keywords), k, kind, mode)``; an update touching
+  keyword ``t`` evicts exactly the entries that read ``t``'s diagram.
+
+Known benign races (audited, paper §5.1/§6 structures):
+``GTree``'s border-distance cache is filled at query time — concurrent
+fills recompute the same idempotent value, and its
+``matrix_operations`` counter may undercount under races; neither
+affects results.  ``AltLowerBounder`` and ``HubLabeling`` are
+read-only after construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Sequence
+
+from repro.core.framework import KSpin
+from repro.core.query_processor import QueryProcessor, QueryStats
+from repro.serve.cache import ResultCache, result_key
+from repro.serve.locks import ReadWriteLock
+from repro.serve.metrics import ServerMetrics
+
+#: Query families the engine serves.
+KINDS = ("bknn", "topk")
+
+
+class EngineResult:
+    """One answered query: results, cache disposition, and cost counters."""
+
+    __slots__ = ("results", "cached", "stats")
+
+    def __init__(
+        self,
+        results: list[tuple[int, float]],
+        cached: bool,
+        stats: QueryStats,
+    ) -> None:
+        self.results = results
+        self.cached = cached
+        self.stats = stats
+
+
+class Engine:
+    """Thread-safe serving facade over a built :class:`KSpin` instance.
+
+    Parameters
+    ----------
+    kspin:
+        The built framework (freshly constructed or ``load_kspin``-ed).
+    cache_size:
+        Result-cache capacity; 0 disables caching.
+    metrics:
+        Optional shared :class:`ServerMetrics`; one is created if absent.
+    """
+
+    def __init__(
+        self,
+        kspin: KSpin,
+        cache_size: int = 1024,
+        metrics: ServerMetrics | None = None,
+    ) -> None:
+        self._kspin = kspin
+        self.cache = ResultCache(cache_size)
+        self.metrics = metrics or ServerMetrics()
+        self.lock = ReadWriteLock()
+        self._local = threading.local()
+        self.updates_applied = 0
+
+    @property
+    def kspin(self) -> KSpin:
+        """The wrapped framework (updates must go through the engine)."""
+        return self._kspin
+
+    def _processor(self) -> QueryProcessor:
+        """This thread's private query processor (lazily created)."""
+        processor = getattr(self._local, "processor", None)
+        if processor is None:
+            k = self._kspin
+            processor = QueryProcessor(
+                k.graph, k.index, k.relevance, k.oracle, k.heap_generator
+            )
+            self._local.processor = processor
+        return processor
+
+    # ------------------------------------------------------------------
+    # Queries (read side)
+    # ------------------------------------------------------------------
+    def bknn(
+        self,
+        vertex: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> EngineResult:
+        """Boolean kNN through the cache and the read lock."""
+        mode = "and" if conjunctive else "or"
+        return self._query("bknn", vertex, k, keywords, mode)
+
+    def top_k(self, vertex: int, k: int, keywords: Sequence[str]) -> EngineResult:
+        """Top-k by weighted distance through the cache and the read lock."""
+        return self._query("topk", vertex, k, keywords, "pseudo")
+
+    def _query(
+        self,
+        kind: str,
+        vertex: int,
+        k: int,
+        keywords: Sequence[str],
+        mode: Hashable,
+    ) -> EngineResult:
+        if kind not in KINDS:
+            raise ValueError(f"unknown query kind {kind!r}")
+        key = result_key(vertex, keywords, k, kind, mode)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.record_query_stats(QueryStats(), cached=True)
+            return EngineResult(list(cached), True, QueryStats())
+        processor = self._processor()
+        with self.lock.read():
+            if kind == "bknn":
+                results = processor.bknn(
+                    vertex, k, list(keywords), conjunctive=(mode == "and")
+                )
+            else:
+                results = processor.top_k(vertex, k, list(keywords))
+            stats = processor.last_stats
+            # Stored before the read lock drops: a concurrent update's
+            # invalidation (under the write lock) can then never miss
+            # this entry and leave a stale result behind.
+            self.cache.put(key, results)
+        self.metrics.record_query_stats(stats)
+        return EngineResult(list(results), False, stats)
+
+    # ------------------------------------------------------------------
+    # Updates (write side, paper §6.2)
+    # ------------------------------------------------------------------
+    def insert_object(self, obj: int, document: Sequence[str] | dict) -> int:
+        """Insert a POI; evicts cache entries reading any of its keywords."""
+        keywords = list(document)
+        with self.lock.write():
+            self._kspin.insert_object(obj, document)
+            evicted = self.cache.invalidate_keywords(keywords)
+            self.updates_applied += 1
+        return evicted
+
+    def delete_object(self, obj: int) -> int:
+        """Tombstone a POI; evicts cache entries reading its keywords."""
+        with self.lock.write():
+            keywords = list(self._kspin.index.document(obj))
+            self._kspin.delete_object(obj)
+            evicted = self.cache.invalidate_keywords(keywords)
+            self.updates_applied += 1
+        return evicted
+
+    def add_keyword(self, obj: int, keyword: str, frequency: int = 1) -> int:
+        """Add one keyword to a POI's document."""
+        with self.lock.write():
+            self._kspin.add_keyword(obj, keyword, frequency)
+            evicted = self.cache.invalidate_keywords([keyword])
+            self.updates_applied += 1
+        return evicted
+
+    def remove_keyword(self, obj: int, keyword: str) -> int:
+        """Remove one keyword from a POI's document."""
+        with self.lock.write():
+            self._kspin.remove_keyword(obj, keyword)
+            evicted = self.cache.invalidate_keywords([keyword])
+            self.updates_applied += 1
+        return evicted
+
+    def rebuild_pending(self) -> list[str]:
+        """Rebuild over-threshold diagrams; evicts their keywords' entries."""
+        with self.lock.write():
+            rebuilt = self._kspin.rebuild_pending()
+            if rebuilt:
+                self.cache.invalidate_keywords(rebuilt)
+        return rebuilt
+
+    def on_rebuilt(self, keyword: str) -> None:
+        """Cache-invalidation hook for background rebuild events.
+
+        Register with
+        :meth:`repro.core.updates.BackgroundRebuilder.add_listener` so a
+        diagram swapped in on the worker thread immediately evicts every
+        cached result that read the old diagram.
+        """
+        self.cache.invalidate_keywords([keyword])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """A cheap liveness/readiness payload for ``/healthz``."""
+        index = self._kspin.index
+        return {
+            "status": "ok",
+            "keywords": len(index.keywords()),
+            "vertices": self._kspin.graph.num_vertices,
+            "updates_applied": self.updates_applied,
+            "cache_entries": len(self.cache),
+        }

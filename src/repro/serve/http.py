@@ -1,0 +1,294 @@
+"""Stdlib HTTP/JSON front end for the serving engine.
+
+No new dependencies: :class:`http.server.ThreadingHTTPServer` accepts
+connections (one handler thread per connection) and every query is
+executed through the bounded :class:`~repro.serve.admission.WorkerPool`,
+so concurrency is governed by admission control rather than by however
+many sockets happen to be open.
+
+Endpoints (all JSON):
+
+``GET/POST /bknn``
+    ``vertex``, ``k``, ``keywords`` (comma-separated or JSON list),
+    optional ``conjunctive`` — Boolean kNN.
+``GET/POST /topk``
+    ``vertex``, ``k``, ``keywords`` — top-k by weighted distance.
+``POST /update``
+    ``{"op": "insert"|"delete"|"add_keyword"|"remove_keyword"|"rebuild",
+    ...}`` — index updates (paper §6.2); evicts affected cache entries.
+``GET /healthz``
+    Liveness and index summary.
+``GET /metrics``
+    Request counts, p50/p95/p99 latency, cache hit rate, queue depth,
+    and aggregated §5.1 ``QueryStats`` counters.
+
+Overload produces explicit errors instead of unbounded queueing:
+**503** when the admission queue is full, **504** when a request misses
+its deadline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
+from repro.serve.engine import Engine
+
+
+class BadRequest(ValueError):
+    """Client-side parameter error, reported as HTTP 400."""
+
+
+def _parse_query_params(params: dict) -> tuple[int, int, list[str], bool]:
+    """Normalise vertex/k/keywords/conjunctive from query or JSON params."""
+    try:
+        vertex = int(params["vertex"])
+        k = int(params.get("k", 10))
+    except (KeyError, TypeError, ValueError):
+        raise BadRequest("need integer 'vertex' (and optional integer 'k')")
+    raw = params.get("keywords")
+    if isinstance(raw, str):
+        keywords = [t for t in raw.split(",") if t]
+    elif isinstance(raw, (list, tuple)):
+        keywords = [str(t) for t in raw]
+    else:
+        keywords = []
+    if not keywords:
+        raise BadRequest("need at least one keyword")
+    conjunctive = str(params.get("conjunctive", "")).lower() in (
+        "1", "true", "yes", "and",
+    )
+    return vertex, k, keywords, conjunctive
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the server instance carries the engine and pool."""
+
+    server: "QueryServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _params(self) -> dict:
+        parsed = urlparse(self.path)
+        params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            try:
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError:
+                raise BadRequest("request body is not valid JSON")
+            if not isinstance(body, dict):
+                raise BadRequest("request body must be a JSON object")
+            params.update(body)
+        return params
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        self._route()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route()
+
+    def _route(self) -> None:
+        endpoint = urlparse(self.path).path.rstrip("/") or "/"
+        start = time.perf_counter()
+        engine = self.server.engine
+        metrics = engine.metrics
+        try:
+            if endpoint == "/healthz":
+                self._send_json(200, engine.health())
+            elif endpoint == "/metrics":
+                self._send_json(200, self.server.metrics_snapshot())
+            elif endpoint in ("/bknn", "/topk"):
+                self._handle_query(endpoint)
+            elif endpoint == "/update":
+                self._handle_update()
+            else:
+                self._send_json(404, {"error": f"unknown endpoint {endpoint}"})
+                metrics.record_request(endpoint, 0.0, error=True)
+                return
+        except BadRequest as error:
+            self._send_json(400, {"error": str(error)})
+            metrics.record_request(endpoint, 0.0, error=True)
+            return
+        except ServerSaturated as error:
+            metrics.record_shed()
+            self._send_json(503, {"error": str(error), "retry": True})
+            return
+        except DeadlineExceeded as error:
+            metrics.record_timeout()
+            self._send_json(504, {"error": str(error)})
+            return
+        except BrokenPipeError:  # client went away mid-response
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            metrics.record_request(endpoint, 0.0, error=True)
+            return
+        metrics.record_request(endpoint, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _handle_query(self, endpoint: str) -> None:
+        vertex, k, keywords, conjunctive = _parse_query_params(self._params())
+        engine = self.server.engine
+        if endpoint == "/bknn":
+            job = lambda: engine.bknn(vertex, k, keywords, conjunctive=conjunctive)
+        else:
+            job = lambda: engine.top_k(vertex, k, keywords)
+        try:
+            answer = self.server.pool.run(job, deadline=self.server.deadline)
+        except ValueError as error:  # bad k / keywords from the core
+            raise BadRequest(str(error)) from None
+        self._send_json(
+            200,
+            {
+                "results": [[obj, value] for obj, value in answer.results],
+                "cached": answer.cached,
+                "stats": {
+                    "iterations": answer.stats.iterations,
+                    "distance_computations": answer.stats.distance_computations,
+                    "lower_bound_computations": answer.stats.lower_bound_computations,
+                },
+            },
+        )
+
+    def _handle_update(self) -> None:
+        if self.command != "POST":
+            raise BadRequest("/update requires POST")
+        params = self._params()
+        op = params.get("op")
+        engine = self.server.engine
+        try:
+            if op == "insert":
+                evicted = engine.insert_object(
+                    int(params["object"]), params["document"]
+                )
+            elif op == "delete":
+                evicted = engine.delete_object(int(params["object"]))
+            elif op == "add_keyword":
+                evicted = engine.add_keyword(
+                    int(params["object"]),
+                    str(params["keyword"]),
+                    int(params.get("frequency", 1)),
+                )
+            elif op == "remove_keyword":
+                evicted = engine.remove_keyword(
+                    int(params["object"]), str(params["keyword"])
+                )
+            elif op == "rebuild":
+                rebuilt = engine.rebuild_pending()
+                self._send_json(200, {"ok": True, "rebuilt": rebuilt})
+                return
+            else:
+                raise BadRequest(
+                    "op must be insert|delete|add_keyword|remove_keyword|rebuild"
+                )
+        except BadRequest:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise BadRequest(f"bad update request: {error}") from None
+        self._send_json(200, {"ok": True, "cache_evicted": evicted})
+
+
+class QueryServer(ThreadingHTTPServer):
+    """A long-running K-SPIN query service.
+
+    Parameters
+    ----------
+    engine:
+        The thread-safe serving engine.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (see :attr:`port`).
+    workers:
+        Query worker threads (admission-controlled, independent of
+        connection handler threads).
+    max_queue:
+        Admitted requests allowed to wait; excess is shed with 503.
+    deadline:
+        Per-request deadline in seconds (504 when missed).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        max_queue: int = 64,
+        deadline: float | None = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.engine = engine
+        self.pool = WorkerPool(
+            workers=workers, max_queue=max_queue, default_deadline=deadline
+        )
+        self.deadline = deadline
+        self.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The actual bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def metrics_snapshot(self) -> dict:
+        """Everything ``/metrics`` reports, as one JSON-ready dict."""
+        snapshot = self.engine.metrics.snapshot()
+        snapshot["cache"] = self.engine.cache.snapshot()
+        snapshot["queue_depth"] = self.pool.queue_depth
+        snapshot["workers"] = self.pool.workers
+        snapshot["max_queue"] = self.pool.max_queue
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_background(self) -> "QueryServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the pool and socket."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.pool.close(wait=False)
+        self.server_close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,169 @@
+"""Load generation: a stdlib HTTP client and a concurrency-ladder replay.
+
+The paper's Table 1 frames evaluation as *query throughput* over a
+memory-resident index; this module measures the served analogue.
+:class:`ServeClient` is a minimal ``urllib``-based JSON client (no new
+dependencies), and :func:`replay` fires a workload at the server from
+``concurrency`` client threads, collecting throughput, latency
+percentiles, and error/shed counts.  The serve-throughput benchmark
+sweeps ``replay`` over an increasing concurrency ladder.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from repro.datasets.workloads import Query
+from repro.serve.metrics import LatencyRecorder
+
+
+class ServeClient:
+    """Tiny JSON client for a running :class:`~repro.serve.http.QueryServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def bknn(
+        self, vertex: int, k: int, keywords: list[str], conjunctive: bool = False
+    ) -> dict:
+        return self._request(
+            "/bknn",
+            {
+                "vertex": vertex,
+                "k": k,
+                "keywords": list(keywords),
+                "conjunctive": conjunctive,
+            },
+        )
+
+    def top_k(self, vertex: int, k: int, keywords: list[str]) -> dict:
+        return self._request(
+            "/topk", {"vertex": vertex, "k": k, "keywords": list(keywords)}
+        )
+
+    def update(self, **payload) -> dict:
+        return self._request("/update", payload)
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+
+@dataclass
+class LoadResult:
+    """One replay's aggregate outcome."""
+
+    concurrency: int
+    requests: int
+    ok: int
+    shed: int
+    errors: int
+    elapsed_seconds: float
+    qps: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    cache_hits: int = 0
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "qps": self.qps,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "cache_hits": self.cache_hits,
+            **self.details,
+        }
+
+
+def replay(
+    client: ServeClient,
+    queries: list[Query],
+    concurrency: int,
+    k: int = 10,
+    kind: str = "bknn",
+) -> LoadResult:
+    """Fire ``queries`` at the server from ``concurrency`` threads.
+
+    Requests are spread round-robin over the client threads; 503 sheds
+    are counted separately from hard errors so saturation studies can
+    tell graceful degradation from breakage.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be positive")
+    if kind not in ("bknn", "topk"):
+        raise ValueError("kind must be 'bknn' or 'topk'")
+    recorder = LatencyRecorder()
+    outcomes = {"ok": 0, "shed": 0, "errors": 0, "cache_hits": 0}
+
+    def fire(query: Query) -> tuple[str, float, bool]:
+        start = time.perf_counter()
+        try:
+            if kind == "bknn":
+                body = client.bknn(query.vertex, k, list(query.keywords))
+            else:
+                body = client.top_k(query.vertex, k, list(query.keywords))
+            return "ok", time.perf_counter() - start, bool(body.get("cached"))
+        except urllib.error.HTTPError as error:
+            status = "shed" if error.code == 503 else "errors"
+            return status, time.perf_counter() - start, False
+        except Exception:
+            return "errors", time.perf_counter() - start, False
+
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for status, seconds, cached in pool.map(fire, queries):
+            outcomes[status] += 1
+            if status == "ok":
+                recorder.record(seconds)
+                if cached:
+                    outcomes["cache_hits"] += 1
+    elapsed = time.perf_counter() - start
+    return LoadResult(
+        concurrency=concurrency,
+        requests=len(queries),
+        ok=outcomes["ok"],
+        shed=outcomes["shed"],
+        errors=outcomes["errors"],
+        elapsed_seconds=elapsed,
+        qps=outcomes["ok"] / elapsed if elapsed > 0 else 0.0,
+        mean_ms=recorder.mean() * 1000.0,
+        p50_ms=recorder.percentile(50) * 1000.0,
+        p95_ms=recorder.percentile(95) * 1000.0,
+        p99_ms=recorder.percentile(99) * 1000.0,
+        cache_hits=outcomes["cache_hits"],
+    )

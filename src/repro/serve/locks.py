@@ -1,0 +1,84 @@
+"""A readers-writer lock for the serving engine.
+
+K-SPIN's query path is read-mostly: concurrent queries touch disjoint
+per-keyword heaps and never mutate the index, while updates (§6.2)
+mutate per-keyword diagrams (tombstones, co-location sets, adjacency).
+Under CPython's GIL individual dict/set operations are atomic, but a
+query *iterating* an adjacency set while an update mutates it raises
+``RuntimeError: set changed size during iteration`` — so the engine
+takes this lock in read mode around queries and in write mode around
+updates.
+
+Writer-preferring: once a writer is waiting, new readers queue behind
+it, so a steady query stream cannot starve updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Many concurrent readers, exclusive writers, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_done = threading.Condition(self._mutex)
+        self._writer_done = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._mutex:
+            while self._writer_active or self._writers_waiting:
+                self._writer_done.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._mutex:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._readers_done.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._mutex:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._readers_done.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._mutex:
+            self._writer_active = False
+            self._readers_done.notify_all()
+            self._writer_done.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,141 @@
+"""Serving metrics: request counters, latency percentiles, cost totals.
+
+The paper reports throughput (Table 1) and per-query operation counts
+(§5.1); a long-running server additionally needs tail latency and
+saturation signals.  :class:`ServerMetrics` aggregates, thread-safely:
+
+* per-endpoint request/error/shed counters,
+* latency percentiles (p50/p95/p99) over a bounded reservoir,
+* aggregated :class:`~repro.core.query_processor.QueryStats` counters —
+  the §5.1 cost model summed over every served query.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+
+from repro.core.query_processor import QueryStats
+
+
+class LatencyRecorder:
+    """Bounded reservoir of latency samples with percentile queries.
+
+    Keeps an exact window until ``capacity`` samples, then switches to
+    uniform reservoir sampling so long runs stay O(capacity) memory
+    while percentiles remain unbiased.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self._capacity:
+            self._samples[slot] = seconds
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of recorded latencies; 0 if none."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class ServerMetrics:
+    """All serving counters behind one mutex, snapshot for ``/metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency = LatencyRecorder()
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self.shed = 0
+        self.timeouts = 0
+        self._stats_totals = QueryStats()
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        """One completed request (successful or errored, not shed)."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            if error:
+                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+            else:
+                self._latency.record(seconds)
+
+    def record_shed(self) -> None:
+        """One request rejected by admission control (503)."""
+        with self._lock:
+            self.shed += 1
+
+    def record_timeout(self) -> None:
+        """One request that missed its deadline (504)."""
+        with self._lock:
+            self.timeouts += 1
+
+    def record_query_stats(self, stats: QueryStats, cached: bool = False) -> None:
+        """Fold one query's §5.1 cost counters into the running totals.
+
+        Cache hits pass ``cached=True`` and contribute no new work — the
+        totals then measure what the backend actually executed.
+        """
+        with self._lock:
+            self.queries_served += 1
+            if cached:
+                return
+            totals = self._stats_totals
+            totals.iterations += stats.iterations
+            totals.distance_computations += stats.distance_computations
+            totals.lower_bound_computations += stats.lower_bound_computations
+            totals.heap_insertions += stats.heap_insertions
+            totals.heaps_created += stats.heaps_created
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every counter (the ``/metrics`` body)."""
+        with self._lock:
+            totals = self._stats_totals
+            return {
+                "requests": dict(self._requests),
+                "requests_total": sum(self._requests.values()),
+                "errors": dict(self._errors),
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "queries_served": self.queries_served,
+                "latency": {
+                    "count": self._latency.count,
+                    "mean_ms": self._latency.mean() * 1000.0,
+                    "p50_ms": self._latency.percentile(50) * 1000.0,
+                    "p95_ms": self._latency.percentile(95) * 1000.0,
+                    "p99_ms": self._latency.percentile(99) * 1000.0,
+                },
+                "query_stats": {
+                    "iterations": totals.iterations,
+                    "distance_computations": totals.distance_computations,
+                    "lower_bound_computations": totals.lower_bound_computations,
+                    "heap_insertions": totals.heap_insertions,
+                    "heaps_created": totals.heaps_created,
+                },
+            }

@@ -97,3 +97,84 @@ class TestCommands:
             ["query", "--index", index, "--vertex", "0", "--keywords", "bar"]
         ) == 0
         assert "vertex 5" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.cache_size == 1024
+        assert args.dataset == "ME-S"
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--index", "x.kspin", "--host", "0.0.0.0",
+             "--port", "9000", "--workers", "16", "--cache-size", "0"]
+        )
+        assert args.index == "x.kspin"
+        assert args.workers == 16
+        assert args.cache_size == 0
+
+    def test_serve_index_and_dataset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--index", "x", "--dataset", "DE-S"]
+            )
+
+    def test_query_stats_flag_prints_cost_model(self, tmp_path, capsys):
+        index = str(tmp_path / "test.kspin")
+        main(["build", "--dataset", "DE-S", "--oracle", "dijkstra",
+              "--landmarks", "4", "--out", index])
+        assert main(
+            ["query", "--index", index, "--vertex", "0",
+             "--keywords", "kw0000", "--stats"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cost model" in output
+        assert "iterations (kappa)" in output
+        assert "heap insertions" in output
+
+    def test_serve_boots_on_ladder_dataset(self, tmp_path):
+        """`python -m repro serve` starts, answers HTTP, and shuts down."""
+        import json
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--dataset", "DE-S", "--oracle", "dijkstra",
+             "--landmarks", "4", "--port", "0", "--workers", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            url = None
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                line = process.stdout.readline()
+                match = re.search(r"on (http://\S+)", line or "")
+                if match:
+                    url = match.group(1)
+                    break
+            assert url, "server never announced its URL"
+            with urllib.request.urlopen(
+                f"{url}/bknn?vertex=0&k=2&keywords=kw0000", timeout=30
+            ) as response:
+                body = json.loads(response.read())
+            assert len(body["results"]) == 2
+            with urllib.request.urlopen(f"{url}/healthz", timeout=30) as response:
+                assert json.loads(response.read())["status"] == "ok"
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()

@@ -15,6 +15,7 @@ EXAMPLES = [
     "oracle_comparison.py",
     "road_trip_planner.py",
     "one_way_streets.py",
+    "serve_and_query.py",
 ]
 
 
@@ -58,3 +59,12 @@ def test_road_trip_reports_segments():
     result = run_example("road_trip_planner.py")
     assert "segment" in result.stdout.lower()
     assert "Route:" in result.stdout
+
+
+def test_serve_and_query_round_trip():
+    result = run_example("serve_and_query.py")
+    assert result.returncode == 0, result.stderr
+    assert "Server up at http://" in result.stdout
+    assert "on second: True" in result.stdout        # cache hit
+    assert "BkNN now finds it" in result.stdout      # update took effect
+    assert "cache hit rate" in result.stdout

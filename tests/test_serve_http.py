@@ -1,0 +1,188 @@
+"""Tests for the HTTP front end: concurrency, updates, metrics, shedding."""
+
+import concurrent.futures
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import KSpin
+from repro.datasets import load_dataset
+from repro.distance import DijkstraOracle
+from repro.lowerbound import AltLowerBounder
+from repro.serve import Engine, QueryServer, ServeClient
+
+
+@pytest.fixture(scope="module")
+def world():
+    return load_dataset("DE-S")
+
+
+@pytest.fixture()
+def kspin(world):
+    return KSpin(
+        world.graph,
+        world.keywords,
+        oracle=DijkstraOracle(world.graph),
+        lower_bounder=AltLowerBounder(world.graph, num_landmarks=4),
+    )
+
+
+@pytest.fixture()
+def server(kspin):
+    engine = Engine(kspin, cache_size=256)
+    with QueryServer(engine, port=0, workers=8).start_background() as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestQueryEndpoints:
+    def test_concurrent_requests_match_single_threaded(self, client, kspin):
+        """>= 32 overlapping requests, all identical to direct KSpin calls."""
+        cases = [
+            (vertex, k, keywords, conjunctive)
+            for vertex in (0, 5, 17, 100)
+            for k, keywords, conjunctive in (
+                (3, ["kw0000"], False),
+                (2, ["kw0001", "kw0002"], False),
+                (2, ["kw0000", "kw0001"], True),
+                (4, ["kw0003"], False),
+            )
+        ] * 2  # 32 requests, repeats exercise the cache under concurrency
+        expected = {
+            (v, k, tuple(kw), c): kspin.bknn(v, k, kw, conjunctive=c)
+            for v, k, kw, c in cases
+        }
+
+        def fire(case):
+            vertex, k, keywords, conjunctive = case
+            body = client.bknn(vertex, k, keywords, conjunctive=conjunctive)
+            return case, [(obj, value) for obj, value in body["results"]]
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=32) as pool:
+            for case, results in pool.map(fire, cases):
+                vertex, k, keywords, conjunctive = case
+                assert results == expected[(vertex, k, tuple(keywords), conjunctive)]
+
+    def test_topk_matches_direct(self, client, kspin):
+        body = client.top_k(5, 3, ["kw0000", "kw0001"])
+        assert [(o, s) for o, s in body["results"]] == kspin.top_k(
+            5, 3, ["kw0000", "kw0001"]
+        )
+
+    def test_get_with_query_string(self, server, kspin):
+        with urllib.request.urlopen(
+            f"{server.url}/bknn?vertex=0&k=3&keywords=kw0000"
+        ) as response:
+            body = json.loads(response.read())
+        assert [(o, d) for o, d in body["results"]] == kspin.bknn(0, 3, ["kw0000"])
+        assert "stats" in body
+
+    def test_cache_flag_round_trip(self, client):
+        assert client.bknn(3, 2, ["kw0002"])["cached"] is False
+        assert client.bknn(3, 2, ["kw0002"])["cached"] is True
+
+
+class TestUpdateEndpoint:
+    def test_insert_invalidates_and_changes_answer(self, client, kspin):
+        stale = client.bknn(0, 3, ["kw0000"])
+        assert client.bknn(0, 3, ["kw0000"])["cached"] is True
+        response = client.update(op="insert", object=0, document=["kw0000"])
+        assert response["ok"] and response["cache_evicted"] >= 1
+        fresh = client.bknn(0, 3, ["kw0000"])
+        assert fresh["cached"] is False
+        assert fresh["results"] != stale["results"]
+        assert fresh["results"][0] == [0, 0.0]
+        assert [(o, d) for o, d in fresh["results"]] == kspin.bknn(0, 3, ["kw0000"])
+
+    def test_delete_invalidates_and_changes_answer(self, client, kspin):
+        before = client.bknn(1, 2, ["kw0001"])["results"]
+        nearest = before[0][0]
+        client.update(op="delete", object=nearest)
+        after = client.bknn(1, 2, ["kw0001"])["results"]
+        assert nearest not in [obj for obj, _ in after]
+        assert [(o, d) for o, d in after] == kspin.bknn(1, 2, ["kw0001"])
+
+    def test_rebuild_op(self, client):
+        assert client.update(op="rebuild")["ok"] is True
+
+    def test_bad_op_is_400(self, client):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            client.update(op="defragment")
+        assert excinfo.value.code == 400
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["keywords"] > 0
+
+    def test_metrics_exposes_required_signals(self, client):
+        client.bknn(0, 2, ["kw0000"])
+        client.bknn(0, 2, ["kw0000"])
+        metrics = client.metrics()
+        assert metrics["requests_total"] >= 2
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+            assert metrics["latency"][key] >= 0
+        assert metrics["cache"]["hit_rate"] > 0
+        assert "queue_depth" in metrics and "shed" in metrics
+        stats = metrics["query_stats"]
+        assert stats["distance_computations"] > 0
+        assert stats["lower_bound_computations"] > 0
+
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_missing_params_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/bknn?vertex=0")
+        assert excinfo.value.code == 400
+
+
+class TestOverload:
+    def test_saturated_queue_sheds_with_503(self, kspin):
+        """With the one worker blocked and no queue, requests get 503."""
+        engine = Engine(kspin, cache_size=0)
+        with QueryServer(
+            engine, port=0, workers=1, max_queue=0
+        ).start_background() as server:
+            release = threading.Event()
+            server.pool.submit(release.wait)  # occupy the only worker
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        f"{server.url}/bknn?vertex=0&keywords=kw0000", timeout=10
+                    )
+                assert excinfo.value.code == 503
+                body = json.loads(excinfo.value.read())
+                assert body["retry"] is True
+            finally:
+                release.set()
+            assert server.metrics_snapshot()["shed"] >= 1
+
+    def test_deadline_miss_times_out_with_504(self, kspin):
+        """An admitted request that cannot start by its deadline gets 504."""
+        engine = Engine(kspin, cache_size=0)
+        with QueryServer(
+            engine, port=0, workers=1, max_queue=4, deadline=0.2
+        ).start_background() as server:
+            release = threading.Event()
+            server.pool.submit(release.wait)
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        f"{server.url}/bknn?vertex=0&keywords=kw0000", timeout=10
+                    )
+                assert excinfo.value.code == 504
+            finally:
+                release.set()
+            assert server.metrics_snapshot()["timeouts"] >= 1
