@@ -11,6 +11,13 @@ import heapq
 import math
 from typing import Sequence
 
+from repro.api import (
+    Query,
+    QueryResult,
+    ensure_supported,
+    hits_from_pairs,
+    warn_deprecated,
+)
 from repro.graph.dijkstra import network_expansion_knn
 from repro.graph.road_network import RoadNetwork
 from repro.text.documents import KeywordDataset
@@ -29,7 +36,7 @@ class NetworkExpansion:
         self._dataset = dataset
         self._relevance = RelevanceModel(dataset)
 
-    def bknn(
+    def _bknn(
         self,
         query: int,
         k: int,
@@ -49,7 +56,7 @@ class NetworkExpansion:
             self._graph, query, k, lambda v: matcher(v, keywords)
         )
 
-    def top_k(
+    def _top_k(
         self, query: int, k: int, keywords: Sequence[str]
     ) -> list[tuple[int, float]]:
         """Top-k by expansion with the ``d / TR_max`` stopping rule."""
@@ -94,6 +101,42 @@ class NetworkExpansion:
                     heapq.heappush(heap, (candidate, u))
         ordered = sorted((-negative, o) for negative, o in results)
         return [(o, s) for s, o in ordered]
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer one :class:`repro.api.Query` (the canonical entry point)."""
+        ensure_supported(query, self.name)
+        if query.kind == "bknn":
+            pairs = self._bknn(
+                query.vertex,
+                query.k,
+                list(query.keywords),
+                conjunctive=query.conjunctive,
+            )
+        else:
+            pairs = self._top_k(query.vertex, query.k, list(query.keywords))
+        return QueryResult(hits=hits_from_pairs(query.kind, pairs))
+
+    def bknn(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="bknn"``."""
+        warn_deprecated(
+            "NetworkExpansion.bknn(...)", "NetworkExpansion.execute(Query(...))"
+        )
+        return self._bknn(query, k, keywords, conjunctive=conjunctive)
+
+    def top_k(
+        self, query: int, k: int, keywords: Sequence[str]
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="topk"``."""
+        warn_deprecated(
+            "NetworkExpansion.top_k(...)", "NetworkExpansion.execute(Query(...))"
+        )
+        return self._top_k(query, k, keywords)
 
     def memory_bytes(self) -> int:
         return 0  # uses only the input graph and dataset

@@ -28,6 +28,13 @@ import heapq
 import math
 from typing import Sequence
 
+from repro.api import (
+    Query,
+    QueryResult,
+    ensure_supported,
+    hits_from_pairs,
+    warn_deprecated,
+)
 from repro.distance.hub_labeling import HubLabeling
 from repro.graph.road_network import RoadNetwork
 from repro.text.documents import KeywordDataset
@@ -103,7 +110,7 @@ class FsFbs:
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
-    def bknn(
+    def _bknn(
         self,
         query: int,
         k: int,
@@ -135,6 +142,31 @@ class FsFbs:
             )
         results.sort()
         return [(o, d) for d, o in results[:k]]
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer one :class:`repro.api.Query` (the canonical entry point).
+
+        FS-FBS answers Boolean kNN only (paper Table 1: no top-k).
+        """
+        ensure_supported(query, self.name, topk=False)
+        pairs = self._bknn(
+            query.vertex,
+            query.k,
+            list(query.keywords),
+            conjunctive=query.conjunctive,
+        )
+        return QueryResult(hits=hits_from_pairs(query.kind, pairs))
+
+    def bknn(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="bknn"``."""
+        warn_deprecated("FsFbs.bknn(...)", "FsFbs.execute(Query(...))")
+        return self._bknn(query, k, keywords, conjunctive=conjunctive)
 
     def _scan_infrequent(
         self,

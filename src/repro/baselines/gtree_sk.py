@@ -29,6 +29,13 @@ import heapq
 import math
 from typing import Sequence
 
+from repro.api import (
+    Query,
+    QueryResult,
+    ensure_supported,
+    hits_from_pairs,
+    warn_deprecated,
+)
 from repro.distance.gtree import GTree
 from repro.graph.road_network import RoadNetwork
 from repro.text.documents import KeywordDataset
@@ -171,7 +178,7 @@ class GTreeSpatialKeyword:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def bknn(
+    def _bknn(
         self,
         query: int,
         k: int,
@@ -218,7 +225,7 @@ class GTreeSpatialKeyword:
         ordered = sorted((-negative, o) for negative, o in results)
         return [(o, d) for d, o in ordered]
 
-    def top_k(
+    def _top_k(
         self, query: int, k: int, keywords: Sequence[str]
     ) -> list[tuple[int, float]]:
         """Top-k by weighted distance via aggregated score bounds."""
@@ -279,6 +286,44 @@ class GTreeSpatialKeyword:
         """Zero the pseudo-document and matrix-operation counters."""
         self.pseudo_document_lookups = 0
         self.gtree.reset_counters()
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer one :class:`repro.api.Query` (the canonical entry point)."""
+        ensure_supported(query, self.name)
+        if query.kind == "bknn":
+            pairs = self._bknn(
+                query.vertex,
+                query.k,
+                list(query.keywords),
+                conjunctive=query.conjunctive,
+            )
+        else:
+            pairs = self._top_k(query.vertex, query.k, list(query.keywords))
+        return QueryResult(hits=hits_from_pairs(query.kind, pairs))
+
+    def bknn(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="bknn"``."""
+        warn_deprecated(
+            "GTreeSpatialKeyword.bknn(...)",
+            "GTreeSpatialKeyword.execute(Query(...))",
+        )
+        return self._bknn(query, k, keywords, conjunctive=conjunctive)
+
+    def top_k(
+        self, query: int, k: int, keywords: Sequence[str]
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="topk"``."""
+        warn_deprecated(
+            "GTreeSpatialKeyword.top_k(...)",
+            "GTreeSpatialKeyword.execute(Query(...))",
+        )
+        return self._top_k(query, k, keywords)
 
     @property
     def matrix_operations(self) -> int:

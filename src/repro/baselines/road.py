@@ -25,6 +25,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.api import (
+    Query,
+    QueryResult,
+    ensure_supported,
+    hits_from_pairs,
+    warn_deprecated,
+)
 from repro.graph.dijkstra import dijkstra_within
 from repro.graph.road_network import RoadNetwork
 from repro.text.documents import KeywordDataset
@@ -215,7 +222,7 @@ class Road:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def knn(
+    def _knn(
         self,
         query: int,
         k: int,
@@ -245,7 +252,7 @@ class Road:
         self._search(query, keywords, on_settle)
         return results
 
-    def top_k(
+    def _top_k(
         self, query: int, k: int, keywords: Sequence[str]
     ) -> list[tuple[int, float]]:
         """Top-k by weighted distance via bounded network expansion.
@@ -285,6 +292,43 @@ class Road:
         self._search(query, keywords, on_settle)
         ordered = sorted((-negative, o) for negative, o in results)
         return [(o, s) for s, o in ordered]
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer one :class:`repro.api.Query` (the canonical entry point).
+
+        ``kind="bknn"`` maps to ROAD's native keyword-predicate kNN
+        search (the directory-pruned expansion); ``kind="topk"`` to the
+        bounded-expansion weighted-distance search.
+        """
+        ensure_supported(query, self.name)
+        if query.kind == "bknn":
+            pairs = self._knn(
+                query.vertex,
+                query.k,
+                list(query.keywords),
+                conjunctive=query.conjunctive,
+            )
+        else:
+            pairs = self._top_k(query.vertex, query.k, list(query.keywords))
+        return QueryResult(hits=hits_from_pairs(query.kind, pairs))
+
+    def knn(
+        self,
+        query: int,
+        k: int,
+        keywords: Sequence[str],
+        conjunctive: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="bknn"``."""
+        warn_deprecated("Road.knn(...)", "Road.execute(Query(...))")
+        return self._knn(query, k, keywords, conjunctive=conjunctive)
+
+    def top_k(
+        self, query: int, k: int, keywords: Sequence[str]
+    ) -> list[tuple[int, float]]:
+        """Deprecated shim for :meth:`execute` with ``kind="topk"``."""
+        warn_deprecated("Road.top_k(...)", "Road.execute(Query(...))")
+        return self._top_k(query, k, keywords)
 
     # ------------------------------------------------------------------
     # Accounting

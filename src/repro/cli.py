@@ -102,6 +102,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
         graph, keywords = dataset.graph, dataset.keywords
     print(f"Graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
           f"{keywords.num_objects} objects, {keywords.num_keywords} keywords")
+    workers = args.workers
+    if workers == 0:
+        from repro.nvd.builder import available_cores
+
+        workers = available_cores()
+        print(f"Using all {workers} available cores for NVD construction")
     start = time.perf_counter()
     oracle = _build_oracle(args.oracle, graph)
     kspin = KSpin(
@@ -110,7 +116,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         oracle=oracle,
         lower_bounder=AltLowerBounder(graph, num_landmarks=args.landmarks),
         rho=args.rho,
-        workers=args.workers,
+        workers=workers,
     )
     elapsed = time.perf_counter() - start
     written = save_kspin(kspin, args.out)
@@ -120,20 +126,20 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.api import Query
     from repro.persist import load_kspin
 
     kspin = load_kspin(args.index)
     keywords = list(args.keywords)
-    start = time.perf_counter()
     if args.kind == "topk":
-        results = kspin.top_k(args.vertex, args.k, keywords)
+        query = Query(args.vertex, tuple(keywords), k=args.k, kind="topk")
         header = "score"
-    elif args.kind == "bknn":
-        results = kspin.bknn(args.vertex, args.k, keywords)
-        header = "distance"
     else:
-        results = kspin.bknn(args.vertex, args.k, keywords, conjunctive=True)
+        mode = "and" if args.kind == "bknn-and" else "or"
+        query = Query(args.vertex, tuple(keywords), k=args.k, kind="bknn", mode=mode)
         header = "distance"
+    start = time.perf_counter()
+    results = kspin.execute(query).pairs()
     elapsed = (time.perf_counter() - start) * 1000
     print(f"{args.kind} query from vertex {args.vertex} for {keywords} "
           f"({elapsed:.2f} ms):")
@@ -187,9 +193,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 dataset.graph, num_landmarks=args.landmarks
             ),
         )
-    engine = Engine(kspin, cache_size=args.cache_size)
+    cluster = None
+    if args.cluster > 0:
+        from repro.serve import ClusterCoordinator
+
+        print(f"Forking {args.cluster} worker processes "
+              f"({args.placement} placement) ...")
+        cluster = ClusterCoordinator(
+            kspin,
+            num_workers=args.cluster,
+            placement=args.placement,
+            cache_size=args.cache_size,
+            snapshot_path=args.index or None,
+        ).start()
+        backend = cluster
+    else:
+        backend = Engine(kspin, cache_size=args.cache_size)
     server = QueryServer(
-        engine,
+        backend,
         host=args.host,
         port=args.port,
         workers=args.workers,
@@ -198,7 +219,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
     )
     print(f"Serving {kspin.graph.num_vertices}-vertex index on {server.url}")
-    print("Endpoints: /bknn /topk /update /healthz /metrics  (Ctrl-C to stop)")
+    print("Endpoints: /v1/query /v1/bknn /v1/topk /v1/update /v1/healthz "
+          "/v1/metrics  (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -206,6 +228,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.pool.close(wait=False)
         server.server_close()
+        if cluster is not None:
+            cluster.close()
     return 0
 
 
@@ -275,7 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"])
     build.add_argument("--rho", type=int, default=5)
     build.add_argument("--landmarks", type=int, default=16)
-    build.add_argument("--workers", type=int, default=1)
+    build.add_argument("--workers", type=int, default=1,
+                       help="processes for parallel NVD construction "
+                            "(0 = all available cores)")
     build.add_argument("--out", required=True, help="output index path")
 
     query = commands.add_parser("query", help="query a saved index")
@@ -303,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--workers", type=int, default=4,
                        help="query worker threads")
+    serve.add_argument("--cluster", type=int, default=0,
+                       help="worker processes forked after index build "
+                            "(0 = single-process thread engine)")
+    serve.add_argument("--placement", default="replicate",
+                       choices=["replicate", "shard-by-keyword"],
+                       help="cluster placement policy")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="result-cache entries (0 disables caching)")
     serve.add_argument("--queue-size", type=int, default=64,

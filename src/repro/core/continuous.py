@@ -67,7 +67,9 @@ def continuous_bknn(
     start = 0
     first_results: tuple[tuple[int, float], ...] = ()
     for index, vertex in enumerate(route):
-        results = tuple(kspin.bknn(vertex, k, keywords, conjunctive=conjunctive))
+        results = tuple(
+            kspin.processor.bknn(vertex, k, keywords, conjunctive=conjunctive)
+        )
         objects = tuple(sorted(o for o, _ in results))
         if current_objects is None:
             current_objects = objects

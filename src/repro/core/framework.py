@@ -24,6 +24,15 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.api import (
+    Query,
+    QueryResult,
+    UpdateOp,
+    ensure_supported,
+    hits_from_pairs,
+    stats_to_dict,
+    warn_deprecated,
+)
 from repro.core.heap_generator import HeapGenerator
 from repro.core.keyword_index import KeywordSeparatedIndex
 from repro.core.query_processor import QueryProcessor, QueryStats
@@ -87,8 +96,30 @@ class KSpin:
         )
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (unified surface, repro.api)
     # ------------------------------------------------------------------
+    def execute(self, query: Query) -> QueryResult:
+        """Answer one :class:`repro.api.Query` (the canonical entry point).
+
+        Dispatches to Algorithm 1 (disjunctive BkNN), the §4.1.2
+        conjunctive variant, or Algorithm 3 (top-k by weighted
+        distance) according to ``query.kind``/``query.mode``.
+        """
+        ensure_supported(query, "KSpin")
+        if query.kind == "bknn":
+            pairs = self.processor.bknn(
+                query.vertex,
+                query.k,
+                list(query.keywords),
+                conjunctive=query.conjunctive,
+            )
+        else:
+            pairs = self.processor.top_k(query.vertex, query.k, list(query.keywords))
+        return QueryResult(
+            hits=hits_from_pairs(query.kind, pairs),
+            stats=stats_to_dict(self.processor.last_stats),
+        )
+
     def bknn(
         self,
         query: int,
@@ -96,12 +127,21 @@ class KSpin:
         keywords: Sequence[str],
         conjunctive: bool = False,
     ) -> list[tuple[int, float]]:
-        """Boolean kNN: the ``k`` nearest objects matching the criterion.
+        """Deprecated shim for :meth:`execute` with ``kind="bknn"``.
 
         Returns ``[(object, network_distance)]`` in ascending distance
         order; disjunctive (any keyword) unless ``conjunctive=True``.
         """
-        return self.processor.bknn(query, k, keywords, conjunctive=conjunctive)
+        warn_deprecated("KSpin.bknn(...)", "KSpin.execute(Query(kind='bknn'))")
+        return self.execute(
+            Query(
+                vertex=query,
+                keywords=tuple(keywords),
+                k=k,
+                kind="bknn",
+                mode="and" if conjunctive else "or",
+            )
+        ).pairs()
 
     def top_k(
         self,
@@ -110,14 +150,20 @@ class KSpin:
         keywords: Sequence[str],
         use_pseudo_lower_bound: bool = True,
     ) -> list[tuple[int, float]]:
-        """Top-k spatial keyword query by weighted distance (Eq. 1).
+        """Deprecated shim for :meth:`execute` with ``kind="topk"``.
 
         Returns ``[(object, score)]`` with the smallest
         ``d(q,o)/TR(psi,o)`` scores, ascending.
         """
-        return self.processor.top_k(
-            query, k, keywords, use_pseudo_lower_bound=use_pseudo_lower_bound
-        )
+        warn_deprecated("KSpin.top_k(...)", "KSpin.execute(Query(kind='topk'))")
+        if not use_pseudo_lower_bound:
+            # The ablation knob is not part of the unified surface.
+            return self.processor.top_k(
+                query, k, keywords, use_pseudo_lower_bound=False
+            )
+        return self.execute(
+            Query(vertex=query, keywords=tuple(keywords), k=k, kind="topk")
+        ).pairs()
 
     def boolean_bknn(
         self, query: int, k: int, groups: Sequence[Sequence[str]]
@@ -173,6 +219,24 @@ class KSpin:
     # ------------------------------------------------------------------
     # Updates (paper §6.2)
     # ------------------------------------------------------------------
+    def apply(self, op: UpdateOp) -> dict:
+        """Apply one :class:`repro.api.UpdateOp` (the canonical entry point).
+
+        Returns a JSON-ready summary: ``{"rebuilt": [...]}`` for
+        ``rebuild``, ``{"applied": op.op}`` otherwise.
+        """
+        if op.op == "insert":
+            self.insert_object(op.object, op.document_counts())
+        elif op.op == "delete":
+            self.delete_object(op.object)
+        elif op.op == "add_keyword":
+            self.add_keyword(op.object, op.keyword, op.frequency)
+        elif op.op == "remove_keyword":
+            self.remove_keyword(op.object, op.keyword)
+        elif op.op == "rebuild":
+            return {"applied": op.op, "rebuilt": self.rebuild_pending()}
+        return {"applied": op.op}
+
     def insert_object(
         self, obj: int, document: Mapping[str, int] | Iterable[str]
     ) -> None:

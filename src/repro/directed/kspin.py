@@ -139,6 +139,34 @@ class DirectedKSpin:
             self.heap_generator,
         )
 
+    def execute(self, query):
+        """Answer one :class:`repro.api.Query` (unified surface).
+
+        Same contract as :meth:`repro.core.framework.KSpin.execute`,
+        with distances measured along directed arcs.
+        """
+        from repro.api import (
+            QueryResult,
+            ensure_supported,
+            hits_from_pairs,
+            stats_to_dict,
+        )
+
+        ensure_supported(query, "DirectedKSpin")
+        if query.kind == "bknn":
+            pairs = self.processor.bknn(
+                query.vertex,
+                query.k,
+                list(query.keywords),
+                conjunctive=query.conjunctive,
+            )
+        else:
+            pairs = self.processor.top_k(query.vertex, query.k, list(query.keywords))
+        return QueryResult(
+            hits=hits_from_pairs(query.kind, pairs),
+            stats=stats_to_dict(self.processor.last_stats),
+        )
+
     def bknn(
         self,
         query: int,

@@ -117,6 +117,28 @@ class ApproximateNVD:
         """True when the keyword was cheap enough to skip the NVD."""
         return self.quadtree is None
 
+    def structural_fingerprint(self) -> str:
+        """A digest of everything that affects query answers.
+
+        Excludes ``build_seconds`` (wall-clock noise) so a diagram built
+        serially and one built by a worker process hash identically —
+        the parallel-construction test asserts exactly that.
+        """
+        import hashlib
+        import pickle
+
+        payload = (
+            self.rho,
+            sorted(self.objects),
+            sorted((o, tuple(sorted(a))) for o, a in self.adjacency.items()),
+            sorted(self.max_radius.items()),
+            pickle.dumps(self.quadtree, protocol=4) if self.quadtree else b"",
+            self.keyword,
+            sorted((v, tuple(sorted(objs))) for v, objs in self.colocated.items()),
+            sorted(self.deleted),
+        )
+        return hashlib.sha256(pickle.dumps(payload, protocol=4)).hexdigest()
+
     def live_objects(self) -> set[int]:
         """Objects currently answering queries (inserted minus deleted)."""
         return self.objects - self.deleted

@@ -29,6 +29,44 @@ class PersistenceError(RuntimeError):
     """Raised for malformed or incompatible index files."""
 
 
+def save_kspin_bytes(kspin: KSpin) -> bytes:
+    """The framed on-disk representation of ``kspin`` as a byte string.
+
+    Same header + payload layout :func:`save_kspin` writes; useful when
+    the index travels over a pipe or socket instead of the filesystem
+    (e.g. rehydrating a spawned cluster worker).
+    """
+    payload = pickle.dumps(kspin, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        MAGIC
+        + VERSION.to_bytes(2, "big")
+        + len(payload).to_bytes(8, "big")
+        + payload
+    )
+
+
+def load_kspin_bytes(data: bytes, source: str = "<bytes>") -> KSpin:
+    """Decode a framed representation produced by :func:`save_kspin_bytes`."""
+    if data[: len(MAGIC)] != MAGIC:
+        raise PersistenceError(f"{source!r} is not a K-SPIN index image")
+    version = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 2], "big")
+    if version != VERSION:
+        raise PersistenceError(
+            f"{source!r} has schema version {version}, expected {VERSION}"
+        )
+    declared = int.from_bytes(data[len(MAGIC) + 2 : len(MAGIC) + 10], "big")
+    payload = data[len(MAGIC) + 10 :]
+    if len(payload) != declared:
+        raise PersistenceError(
+            f"{source!r} is truncated: declared {declared} bytes, "
+            f"found {len(payload)}"
+        )
+    kspin = pickle.loads(payload)
+    if not isinstance(kspin, KSpin):
+        raise PersistenceError(f"{source!r} did not contain a KSpin instance")
+    return kspin
+
+
 def save_kspin(kspin: KSpin, path: str) -> int:
     """Serialise a built K-SPIN instance to ``path``.
 
@@ -45,17 +83,14 @@ def save_kspin(kspin: KSpin, path: str) -> int:
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    payload = pickle.dumps(kspin, protocol=pickle.HIGHEST_PROTOCOL)
+    framed = save_kspin_bytes(kspin)
     fd, temp_path = tempfile.mkstemp(
         prefix=os.path.basename(path) + ".", suffix=".tmp",
         dir=directory or ".",
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(VERSION.to_bytes(2, "big"))
-            handle.write(len(payload).to_bytes(8, "big"))
-            handle.write(payload)
+            handle.write(framed)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
@@ -65,28 +100,11 @@ def save_kspin(kspin: KSpin, path: str) -> int:
         except OSError:
             pass
         raise
-    return len(MAGIC) + 10 + len(payload)
+    return len(framed)
 
 
 def load_kspin(path: str) -> KSpin:
     """Load a K-SPIN instance previously saved with :func:`save_kspin`."""
     with open(path, "rb") as handle:
-        magic = handle.read(len(MAGIC))
-        if magic != MAGIC:
-            raise PersistenceError(f"{path!r} is not a K-SPIN index file")
-        version = int.from_bytes(handle.read(2), "big")
-        if version != VERSION:
-            raise PersistenceError(
-                f"{path!r} has schema version {version}, expected {VERSION}"
-            )
-        declared = int.from_bytes(handle.read(8), "big")
-        payload = handle.read()
-    if len(payload) != declared:
-        raise PersistenceError(
-            f"{path!r} is truncated: declared {declared} bytes, "
-            f"found {len(payload)}"
-        )
-    kspin = pickle.loads(payload)
-    if not isinstance(kspin, KSpin):
-        raise PersistenceError(f"{path!r} did not contain a KSpin instance")
-    return kspin
+        data = handle.read()
+    return load_kspin_bytes(data, source=path)

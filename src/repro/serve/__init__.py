@@ -2,41 +2,66 @@
 
 Turns a built :class:`~repro.core.framework.KSpin` into a long-running
 service: a thread-safe :class:`Engine` with a keyword-aware LRU result
-cache, a bounded :class:`WorkerPool` that sheds overload instead of
-queueing it, and a stdlib HTTP/JSON front end (:class:`QueryServer`)
-with a load-generation client (:class:`ServeClient`).
+cache, a process-parallel :class:`ClusterCoordinator` that forks workers
+after index build (copy-on-write sharing) with placement routing,
+scatter-gather merging and supervised restarts, a bounded
+:class:`WorkerPool` that sheds overload instead of queueing it, and a
+stdlib HTTP/JSON front end (:class:`QueryServer`) with a
+load-generation client (:class:`ServeClient`).
 
 Quick use::
 
+    from repro.api import Query
     from repro.persist import load_kspin
-    from repro.serve import Engine, QueryServer
+    from repro.serve import ClusterCoordinator, Engine, QueryServer
 
-    engine = Engine(load_kspin("fl.kspin"), cache_size=4096)
-    with QueryServer(engine, port=8080, workers=8).start_background() as server:
-        ...  # curl http://127.0.0.1:8080/bknn?vertex=5&k=3&keywords=thai
+    backend = Engine(load_kspin("fl.kspin"), cache_size=4096)
+    # or escape the GIL with processes:
+    # backend = ClusterCoordinator(load_kspin("fl.kspin"), num_workers=4)
+    with QueryServer(backend, port=8080, workers=8).start_background() as server:
+        ...  # curl http://127.0.0.1:8080/v1/bknn?vertex=5&k=3&keywords=thai
 """
 
+from repro.api import Hit, Query, QueryResult, UnsupportedQueryError, UpdateOp
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
 from repro.serve.cache import ResultCache, result_key
+from repro.serve.cluster import PLACEMENTS, ClusterCoordinator
 from repro.serve.engine import Engine, EngineResult
 from repro.serve.http import QueryServer
+from repro.serve.ipc import WorkerDied, WorkerError, WorkerHandle
 from repro.serve.loadgen import LoadResult, ServeClient, replay
 from repro.serve.locks import ReadWriteLock
 from repro.serve.metrics import LatencyRecorder, ServerMetrics
+from repro.serve.placement import KeywordShardRouter, ReplicateRouter, shard_of
+from repro.serve.supervisor import Supervisor
 
 __all__ = [
+    "PLACEMENTS",
+    "ClusterCoordinator",
     "DeadlineExceeded",
     "Engine",
     "EngineResult",
+    "Hit",
+    "KeywordShardRouter",
     "LatencyRecorder",
     "LoadResult",
+    "Query",
+    "QueryResult",
     "QueryServer",
     "ReadWriteLock",
+    "ReplicateRouter",
     "ResultCache",
     "ServeClient",
     "ServerMetrics",
     "ServerSaturated",
+    "Supervisor",
+    "UnsupportedQueryError",
+    "UpdateOp",
+    "WorkerDied",
+    "WorkerError",
+    "WorkerHandle",
     "WorkerPool",
     "replay",
     "result_key",
+    "shard_of",
 ]

@@ -1,0 +1,471 @@
+"""The process-sharded serving cluster (scatter-gather coordinator).
+
+Python's GIL caps the thread-based :class:`~repro.serve.engine.Engine`
+at one core of query execution.  :class:`ClusterCoordinator` escapes it
+with processes while keeping the expensive part — the built K-SPIN
+index — shared:
+
+* **Fork after build.**  Workers are forked *from the parent that built
+  (or loaded) the index*, so the graph, ALT tables, distance oracle and
+  every APX-NVD arrive via copy-on-write pages: no per-worker rebuild,
+  no serialisation, O(pages touched) extra memory.  Under the ``spawn``
+  start method (no ``fork`` on the platform, or explicitly requested)
+  workers instead rehydrate from the persisted snapshot plus a replay
+  of the update journal.
+* **The parent stays authoritative.**  Every update is applied to the
+  parent's own copy first and journaled, then fanned out to workers.  A
+  worker that dies is re-forked from the parent (or re-spawned from
+  snapshot + journal), so the replacement is always current — restarts
+  lose no updates.
+* **Placement is routing, not partitioning.**  Every worker holds the
+  full index; the :mod:`~repro.serve.placement` router decides which
+  worker(s) answer for throughput/cache-affinity.  Disjunctive BkNN
+  queries spanning several keyword shards scatter and the coordinator
+  merges with :func:`repro.api.merge_results`.
+* **No request is lost.**  A request that hits a dead worker retries on
+  the surviving workers and, as a last resort, runs on the parent's own
+  in-process engine; the supervisor is kicked to restart the casualty
+  in the background.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api import (
+    Query,
+    QueryResult,
+    UpdateOp,
+    ensure_supported,
+    merge_results,
+)
+from repro.core.framework import KSpin
+from repro.serve.engine import Engine
+from repro.serve.ipc import WorkerDied, WorkerError, WorkerHandle, worker_main
+from repro.serve.placement import (
+    KeywordShardRouter,
+    ReplicateRouter,
+    RoutingPlan,
+)
+from repro.serve.supervisor import Supervisor
+
+#: Recognised placement policy names (CLI surface).
+PLACEMENTS = ("replicate", "shard-by-keyword")
+
+
+def _preferred_context(start_method: str | None):
+    """The requested or best-available multiprocessing context."""
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ClusterCoordinator:
+    """N worker processes behind one :class:`repro.api.Query` surface.
+
+    Implements the same ``execute`` / ``apply`` / ``health`` /
+    ``metrics_snapshot`` protocol as :class:`Engine`, so the HTTP tier
+    (and any other caller) is backend-agnostic.
+
+    Parameters
+    ----------
+    kspin:
+        The built framework; stays authoritative in the parent.
+    num_workers:
+        Worker process count (the cluster size).
+    placement:
+        ``"replicate"`` or ``"shard-by-keyword"``.
+    cache_size:
+        Per-worker result-cache capacity (0 disables worker caches).
+    start_method:
+        Force ``"fork"`` or ``"spawn"``; default prefers fork.
+    snapshot_path:
+        Persisted index image for spawn-mode rehydration.  Written on
+        demand (to a temp file, cleaned up on close) when absent.
+    supervise:
+        Run the background health checker (on by default).
+    """
+
+    def __init__(
+        self,
+        kspin: KSpin,
+        num_workers: int = 2,
+        placement: str = "replicate",
+        cache_size: int = 1024,
+        start_method: str | None = None,
+        snapshot_path: str | None = None,
+        supervise: bool = True,
+        health_interval: float = 1.0,
+        ping_timeout: float = 2.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
+            )
+        self._kspin = kspin
+        self.num_workers = num_workers
+        self.placement = placement
+        self.cache_size = cache_size
+        self._ctx = _preferred_context(start_method)
+        self._snapshot_path = snapshot_path
+        self._owns_snapshot = False
+        # The parent's own engine: authoritative update target and the
+        # no-worker-left fallback.  Cache disabled — the parent answers
+        # rarely and must never serve a result its workers would not.
+        self._fallback = Engine(kspin, cache_size=0)
+        if placement == "replicate":
+            self.router = ReplicateRouter(num_workers)
+        else:
+            self.router = KeywordShardRouter(
+                num_workers, inverted_size=kspin.index.inverted_size
+            )
+        self.workers: list[WorkerHandle | None] = [None] * num_workers
+        self._journal: list[dict] = []
+        # Reentrant: apply() restarts diverged workers while holding it.
+        self._update_lock = threading.RLock()
+        self._pool: ThreadPoolExecutor | None = None
+        self.supervisor = Supervisor(
+            self, interval=health_interval, ping_timeout=ping_timeout
+        )
+        self._supervise = supervise
+        self._started = False
+        self.updates_applied = 0
+        self.fallback_queries = 0
+        self.retried_requests = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterCoordinator":
+        """Fork the workers and start supervision (idempotent)."""
+        if self._started:
+            return self
+        with self._update_lock:
+            for index in range(self.num_workers):
+                self.workers[index] = self._spawn_worker(index)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="cluster-scatter",
+            )
+            self._started = True
+        if self._supervise:
+            self.supervisor.start()
+        return self
+
+    def close(self) -> None:
+        """Stop supervision, shut workers down, release resources."""
+        self.supervisor.stop()
+        with self._update_lock:
+            for index, handle in enumerate(self.workers):
+                if handle is not None:
+                    handle.close()
+                    self.workers[index] = None
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            self._started = False
+        if self._owns_snapshot and self._snapshot_path:
+            try:
+                os.unlink(self._snapshot_path)
+            except OSError:
+                pass
+            self._owns_snapshot = False
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int) -> WorkerHandle:
+        name = f"worker-{index}"
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        if self._ctx.get_start_method() == "fork":
+            # The built index rides into the child via copy-on-write.
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, name, self._kspin, self.cache_size),
+                name=name,
+                daemon=True,
+            )
+        else:
+            # Spawn cannot inherit memory: rehydrate from the snapshot
+            # and replay every update applied since it was written.
+            process = self._ctx.Process(
+                target=worker_main,
+                kwargs={
+                    "conn": child_conn,
+                    "name": name,
+                    "kspin": None,
+                    "cache_size": self.cache_size,
+                    "snapshot_path": self._ensure_snapshot(),
+                    "journal": list(self._journal),
+                },
+                name=name,
+                daemon=True,
+            )
+        process.start()
+        child_conn.close()
+        return WorkerHandle(name, process, parent_conn)
+
+    def _ensure_snapshot(self) -> str:
+        if self._snapshot_path is None:
+            from repro.persist import save_kspin
+
+            fd, path = tempfile.mkstemp(prefix="kspin-cluster.", suffix=".idx")
+            os.close(fd)
+            save_kspin(self._kspin, path)
+            self._snapshot_path = path
+            self._owns_snapshot = True
+        elif not os.path.exists(self._snapshot_path):
+            from repro.persist import save_kspin
+
+            save_kspin(self._kspin, self._snapshot_path)
+        return self._snapshot_path
+
+    def restart_worker(self, index: int) -> WorkerHandle:
+        """Replace worker ``index`` with a fresh, fully-current process.
+
+        Under the update lock so the replacement can never be forked
+        mid-update: it inherits (fork) or replays (spawn) exactly the
+        updates the parent has fully applied.
+        """
+        with self._update_lock:
+            old = self.workers[index]
+            restarts = old.restarts + 1 if old is not None else 1
+            if old is not None:
+                old.close()
+            handle = self._spawn_worker(index)
+            handle.restarts = restarts
+            self.workers[index] = handle
+            return handle
+
+    def _alive_indexes(self) -> list[int]:
+        return [
+            i for i, h in enumerate(self.workers)
+            if h is not None and h.is_alive()
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def execute(self, query: Query) -> QueryResult:
+        """Route one query through the placement policy and the workers."""
+        ensure_supported(query, "cluster")
+        if not self._started:
+            self.start()
+        plan = self.router.plan(query, self._inflight())
+        if not plan.scatter:
+            return self._dispatch(plan.single_target, query)
+        return self._scatter(plan)
+
+    def _inflight(self) -> list[int]:
+        return [
+            h.inflight if h is not None and h.is_alive() else 1 << 20
+            for h in self.workers
+        ]
+
+    def _scatter(self, plan: RoutingPlan) -> QueryResult:
+        assert self._pool is not None
+        futures = [
+            self._pool.submit(self._dispatch, index, subquery)
+            for index, subquery in plan.assignments.items()
+        ]
+        parts = [future.result() for future in futures]
+        k = max(subquery.k for subquery in plan.assignments.values())
+        return merge_results(parts, k)
+
+    def _dispatch(self, target: int, query: Query) -> QueryResult:
+        """Run ``query`` on ``target``, failing over on worker death.
+
+        Any worker can answer any (sub-)query — every worker holds the
+        full index — so death triggers a walk over the survivors and,
+        if the whole fleet is down, the parent's in-process engine.
+        A :class:`WorkerError` (the worker *answered*, with an error)
+        is deterministic and propagates without retry.
+        """
+        attempts = [target] + [
+            i for i in range(self.num_workers) if i != target
+        ]
+        died = False
+        for attempt in attempts:
+            handle = self.workers[attempt]
+            if handle is None or not handle.is_alive():
+                continue
+            try:
+                body = handle.request("query", query.to_dict())
+                if died:
+                    self.retried_requests += 1
+                return QueryResult.from_dict(body)
+            except WorkerDied:
+                died = True
+                self.supervisor.kick()
+                continue
+        if died:
+            self.retried_requests += 1
+        self.fallback_queries += 1
+        return self._fallback.execute(query)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def apply(self, op: UpdateOp) -> dict:
+        """Apply one update everywhere: parent first, then fan out.
+
+        The parent is authoritative — if it rejects the op (unknown
+        object, bad keyword) nothing is journaled or fanned out.  A
+        worker that fails the fan-out (died, or diverged enough to
+        error) is restarted from the now-current parent, which already
+        includes this op; restarts therefore never lose updates.
+        """
+        with self._update_lock:
+            summary = self._fallback.apply(op)
+            self._journal.append(op.to_dict())
+            self.updates_applied += 1
+            evicted = 0
+            for index, handle in enumerate(self.workers):
+                if handle is None:
+                    continue
+                try:
+                    worker_summary = handle.request("update", op.to_dict())
+                    evicted += int(worker_summary.get("cache_evicted", 0))
+                except (WorkerDied, WorkerError):
+                    if self._started:
+                        self.restart_worker(index)
+            summary["cache_evicted"] = evicted
+            return summary
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cluster liveness: per-worker status plus parent index facts."""
+        base = self._fallback.health()
+        alive = self._alive_indexes()
+        base.update(
+            {
+                "status": "ok" if len(alive) == self.num_workers else "degraded",
+                "placement": self.placement,
+                "workers": {
+                    "total": self.num_workers,
+                    "alive": len(alive),
+                    "restarts": sum(
+                        h.restarts for h in self.workers if h is not None
+                    ),
+                },
+                "updates_applied": self.updates_applied,
+                "journal_length": len(self._journal),
+            }
+        )
+        return base
+
+    def metrics_snapshot(self) -> dict:
+        """Aggregated per-worker metrics plus coordinator counters.
+
+        Matches :meth:`Engine.metrics_snapshot`'s shape at the top level
+        (summed across workers) and adds a ``cluster`` section with the
+        per-worker breakdown, so ``/metrics`` dashboards work unchanged
+        against either backend.
+        """
+        per_worker: dict[str, dict] = {}
+        for handle in self.workers:
+            if handle is None or not handle.is_alive():
+                continue
+            try:
+                per_worker[handle.name] = handle.request("metrics", None)
+            except (WorkerDied, WorkerError):
+                self.supervisor.kick()
+        merged = self._merge_metrics(list(per_worker.values()))
+        merged["cluster"] = {
+            "placement": self.placement,
+            "workers": self.num_workers,
+            "alive": len(self._alive_indexes()),
+            "restarts": sum(
+                h.restarts for h in self.workers if h is not None
+            ),
+            "supervisor_sweeps": self.supervisor.sweeps,
+            "fallback_queries": self.fallback_queries,
+            "retried_requests": self.retried_requests,
+            "updates_applied": self.updates_applied,
+            "per_worker": per_worker,
+        }
+        return merged
+
+    @staticmethod
+    def _merge_metrics(snapshots: list[dict]) -> dict:
+        merged: dict = {
+            "requests": {},
+            "requests_total": 0,
+            "errors": {},
+            "shed": 0,
+            "timeouts": 0,
+            "queries_served": 0,
+            "query_stats": {},
+            "cache": {
+                "capacity": 0,
+                "entries": 0,
+                "hits": 0,
+                "misses": 0,
+                "invalidations": 0,
+            },
+        }
+        latencies: list[dict] = []
+        for snap in snapshots:
+            for endpoint, count in snap.get("requests", {}).items():
+                merged["requests"][endpoint] = (
+                    merged["requests"].get(endpoint, 0) + count
+                )
+            merged["requests_total"] += snap.get("requests_total", 0)
+            for endpoint, count in snap.get("errors", {}).items():
+                merged["errors"][endpoint] = (
+                    merged["errors"].get(endpoint, 0) + count
+                )
+            merged["shed"] += snap.get("shed", 0)
+            merged["timeouts"] += snap.get("timeouts", 0)
+            merged["queries_served"] += snap.get("queries_served", 0)
+            for name, value in snap.get("query_stats", {}).items():
+                merged["query_stats"][name] = (
+                    merged["query_stats"].get(name, 0) + value
+                )
+            for name in ("capacity", "entries", "hits", "misses", "invalidations"):
+                merged["cache"][name] += snap.get("cache", {}).get(name, 0)
+            if "latency" in snap:
+                latencies.append(snap["latency"])
+        lookups = merged["cache"]["hits"] + merged["cache"]["misses"]
+        merged["cache"]["hit_rate"] = (
+            merged["cache"]["hits"] / lookups if lookups else 0.0
+        )
+        if latencies:
+            total = sum(l.get("count", 0) for l in latencies)
+            merged["latency"] = {
+                "count": total,
+                # Per-worker reservoirs cannot be re-ranked exactly;
+                # report the count-weighted mean and worst-case tails.
+                "mean_ms": (
+                    sum(l.get("mean_ms", 0.0) * l.get("count", 0) for l in latencies)
+                    / total
+                    if total
+                    else 0.0
+                ),
+                "p50_ms": max(l.get("p50_ms", 0.0) for l in latencies),
+                "p95_ms": max(l.get("p95_ms", 0.0) for l in latencies),
+                "p99_ms": max(l.get("p99_ms", 0.0) for l in latencies),
+            }
+        else:
+            merged["latency"] = {
+                "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                "p95_ms": 0.0, "p99_ms": 0.0,
+            }
+        return merged

@@ -35,8 +35,17 @@ read-only after construction.
 from __future__ import annotations
 
 import threading
-from typing import Hashable, Sequence
+from typing import Sequence
 
+from repro.api import (
+    Query,
+    QueryResult,
+    UpdateOp,
+    ensure_supported,
+    hits_from_pairs,
+    stats_to_dict,
+    warn_deprecated,
+)
 from repro.core.framework import KSpin
 from repro.core.query_processor import QueryProcessor, QueryStats
 from repro.serve.cache import ResultCache, result_key
@@ -108,6 +117,20 @@ class Engine:
     # ------------------------------------------------------------------
     # Queries (read side)
     # ------------------------------------------------------------------
+    def execute(self, query: Query) -> QueryResult:
+        """Answer one :class:`repro.api.Query` through cache and read lock.
+
+        The canonical entry point; the serving tier (HTTP handlers,
+        cluster workers) calls this with the same :class:`Query` values
+        every other engine accepts.
+        """
+        pairs, was_cached, stats = self._run(query)
+        return QueryResult(
+            hits=hits_from_pairs(query.kind, pairs),
+            stats=stats_to_dict(stats),
+            cached=was_cached,
+        )
+
     def bknn(
         self,
         vertex: int,
@@ -115,44 +138,57 @@ class Engine:
         keywords: Sequence[str],
         conjunctive: bool = False,
     ) -> EngineResult:
-        """Boolean kNN through the cache and the read lock."""
-        mode = "and" if conjunctive else "or"
-        return self._query("bknn", vertex, k, keywords, mode)
+        """Deprecated shim for :meth:`execute` with ``kind="bknn"``."""
+        warn_deprecated("Engine.bknn(...)", "Engine.execute(Query(...))")
+        query = Query(
+            vertex=vertex,
+            keywords=tuple(keywords),
+            k=k,
+            kind="bknn",
+            mode="and" if conjunctive else "or",
+        )
+        pairs, was_cached, stats = self._run(query)
+        return EngineResult(pairs, was_cached, stats)
 
     def top_k(self, vertex: int, k: int, keywords: Sequence[str]) -> EngineResult:
-        """Top-k by weighted distance through the cache and the read lock."""
-        return self._query("topk", vertex, k, keywords, "pseudo")
+        """Deprecated shim for :meth:`execute` with ``kind="topk"``."""
+        warn_deprecated("Engine.top_k(...)", "Engine.execute(Query(...))")
+        query = Query(vertex=vertex, keywords=tuple(keywords), k=k, kind="topk")
+        pairs, was_cached, stats = self._run(query)
+        return EngineResult(pairs, was_cached, stats)
 
-    def _query(
-        self,
-        kind: str,
-        vertex: int,
-        k: int,
-        keywords: Sequence[str],
-        mode: Hashable,
-    ) -> EngineResult:
-        if kind not in KINDS:
-            raise ValueError(f"unknown query kind {kind!r}")
-        key = result_key(vertex, keywords, k, kind, mode)
+    def _run(
+        self, query: Query
+    ) -> tuple[list[tuple[int, float]], bool, QueryStats]:
+        """Cache-then-lock execution shared by :meth:`execute` and shims."""
+        ensure_supported(query, "Engine")
+        key = result_key(
+            query.vertex, query.keywords, query.k, query.kind, query.mode
+        )
         cached = self.cache.get(key)
         if cached is not None:
             self.metrics.record_query_stats(QueryStats(), cached=True)
-            return EngineResult(list(cached), True, QueryStats())
+            return list(cached), True, QueryStats()
         processor = self._processor()
         with self.lock.read():
-            if kind == "bknn":
+            if query.kind == "bknn":
                 results = processor.bknn(
-                    vertex, k, list(keywords), conjunctive=(mode == "and")
+                    query.vertex,
+                    query.k,
+                    list(query.keywords),
+                    conjunctive=query.conjunctive,
                 )
             else:
-                results = processor.top_k(vertex, k, list(keywords))
+                results = processor.top_k(
+                    query.vertex, query.k, list(query.keywords)
+                )
             stats = processor.last_stats
             # Stored before the read lock drops: a concurrent update's
             # invalidation (under the write lock) can then never miss
             # this entry and leave a stale result behind.
             self.cache.put(key, results)
         self.metrics.record_query_stats(stats)
-        return EngineResult(list(results), False, stats)
+        return list(results), False, stats
 
     # ------------------------------------------------------------------
     # Updates (write side, paper §6.2)
@@ -199,6 +235,27 @@ class Engine:
                 self.cache.invalidate_keywords(rebuilt)
         return rebuilt
 
+    def apply(self, op: UpdateOp) -> dict:
+        """Apply one :class:`repro.api.UpdateOp` (the canonical entry point).
+
+        Dispatches to the write-locked update methods above and reports
+        the cache fallout: ``{"applied": ..., "cache_evicted": n}`` or,
+        for ``rebuild``, ``{"applied": "rebuild", "rebuilt": [...]}``.
+        """
+        if op.op == "insert":
+            evicted = self.insert_object(op.object, op.document_counts())
+        elif op.op == "delete":
+            evicted = self.delete_object(op.object)
+        elif op.op == "add_keyword":
+            evicted = self.add_keyword(op.object, op.keyword, op.frequency)
+        elif op.op == "remove_keyword":
+            evicted = self.remove_keyword(op.object, op.keyword)
+        elif op.op == "rebuild":
+            return {"applied": "rebuild", "rebuilt": self.rebuild_pending()}
+        else:  # pragma: no cover - UpdateOp validates op on construction
+            raise ValueError(f"unknown update op {op.op!r}")
+        return {"applied": op.op, "cache_evicted": evicted}
+
     def on_rebuilt(self, keyword: str) -> None:
         """Cache-invalidation hook for background rebuild events.
 
@@ -222,3 +279,13 @@ class Engine:
             "updates_applied": self.updates_applied,
             "cache_entries": len(self.cache),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Server metrics plus cache statistics, JSON-ready.
+
+        The same shape :meth:`ClusterCoordinator.metrics_snapshot`
+        returns per worker, so ``/metrics`` is backend-agnostic.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.snapshot()
+        return snapshot

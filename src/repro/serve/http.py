@@ -1,4 +1,4 @@
-"""Stdlib HTTP/JSON front end for the serving engine.
+"""Stdlib HTTP/JSON front end for the serving tier.
 
 No new dependencies: :class:`http.server.ThreadingHTTPServer` accepts
 connections (one handler thread per connection) and every query is
@@ -6,21 +6,40 @@ executed through the bounded :class:`~repro.serve.admission.WorkerPool`,
 so concurrency is governed by admission control rather than by however
 many sockets happen to be open.
 
-Endpoints (all JSON):
+The server is **backend-agnostic**: anything implementing the
+``execute(Query) -> QueryResult`` / ``apply(UpdateOp) -> dict`` /
+``health()`` / ``metrics_snapshot()`` protocol serves — the thread-based
+:class:`~repro.serve.engine.Engine` and the process-sharded
+:class:`~repro.serve.cluster.ClusterCoordinator` both qualify.
 
-``GET/POST /bknn``
-    ``vertex``, ``k``, ``keywords`` (comma-separated or JSON list),
-    optional ``conjunctive`` — Boolean kNN.
-``GET/POST /topk``
-    ``vertex``, ``k``, ``keywords`` — top-k by weighted distance.
-``POST /update``
-    ``{"op": "insert"|"delete"|"add_keyword"|"remove_keyword"|"rebuild",
-    ...}`` — index updates (paper §6.2); evicts affected cache entries.
-``GET /healthz``
-    Liveness and index summary.
-``GET /metrics``
+Envelope
+--------
+Every response (success and error, every endpoint) is one JSON shape::
+
+    {"ok": true,  "result": ...}
+    {"ok": false, "error": {"code": "...", "message": "...", ...}}
+
+Machine-readable error codes: ``bad_request`` (400), ``not_found``
+(404), ``saturated`` (503, carries ``"retry": true``),
+``deadline_exceeded`` (504), ``internal`` (500).
+
+Endpoints (canonical under ``/v1/``; the unversioned paths are aliases
+kept for older clients and answer with a ``Deprecation`` header):
+
+``GET/POST /v1/query``
+    The generic surface: a :class:`repro.api.Query` as JSON
+    (``vertex``, ``keywords``, ``k``, ``kind``, ``mode``).
+``GET/POST /v1/bknn`` / ``/v1/topk``
+    Same parameters with ``kind`` pinned; ``keywords`` may be a JSON
+    list or comma-separated, ``conjunctive`` is honoured for BkNN.
+``POST /v1/update``
+    A :class:`repro.api.UpdateOp` as JSON (paper §6.2 operations).
+``GET /v1/healthz``
+    Liveness and index summary (cluster backends add worker status).
+``GET /v1/metrics``
     Request counts, p50/p95/p99 latency, cache hit rate, queue depth,
-    and aggregated §5.1 ``QueryStats`` counters.
+    aggregated §5.1 ``QueryStats`` counters (cluster backends add a
+    per-worker breakdown).
 
 Overload produces explicit errors instead of unbounded queueing:
 **503** when the admission queue is full, **504** when a request misses
@@ -35,38 +54,22 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.api import Query, UnsupportedQueryError, UpdateOp
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
-from repro.serve.engine import Engine
+from repro.serve.ipc import WorkerError
+from repro.serve.metrics import ServerMetrics
 
 
 class BadRequest(ValueError):
     """Client-side parameter error, reported as HTTP 400."""
 
 
-def _parse_query_params(params: dict) -> tuple[int, int, list[str], bool]:
-    """Normalise vertex/k/keywords/conjunctive from query or JSON params."""
-    try:
-        vertex = int(params["vertex"])
-        k = int(params.get("k", 10))
-    except (KeyError, TypeError, ValueError):
-        raise BadRequest("need integer 'vertex' (and optional integer 'k')")
-    raw = params.get("keywords")
-    if isinstance(raw, str):
-        keywords = [t for t in raw.split(",") if t]
-    elif isinstance(raw, (list, tuple)):
-        keywords = [str(t) for t in raw]
-    else:
-        keywords = []
-    if not keywords:
-        raise BadRequest("need at least one keyword")
-    conjunctive = str(params.get("conjunctive", "")).lower() in (
-        "1", "true", "yes", "and",
-    )
-    return vertex, k, keywords, conjunctive
+#: Endpoint names the router recognises (without the /v1 prefix).
+_ENDPOINTS = ("/query", "/bknn", "/topk", "/update", "/healthz", "/metrics")
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """One request; the server instance carries the engine and pool."""
+    """One request; the server instance carries the backend and pool."""
 
     server: "QueryServer"
     protocol_version = "HTTP/1.1"
@@ -78,13 +81,33 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict, deprecated: bool = False) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if deprecated:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", '</v1/>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_ok(self, result, deprecated: bool = False) -> None:
+        self._send_json(200, {"ok": True, "result": result}, deprecated=deprecated)
+
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        deprecated: bool = False,
+        **extra,
+    ) -> None:
+        self._send_json(
+            status,
+            {"ok": False, "error": {"code": code, "message": message, **extra}},
+            deprecated=deprecated,
+        )
 
     def _params(self) -> dict:
         parsed = urlparse(self.path)
@@ -110,39 +133,62 @@ class _Handler(BaseHTTPRequestHandler):
         self._route()
 
     def _route(self) -> None:
-        endpoint = urlparse(self.path).path.rstrip("/") or "/"
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        if path.startswith("/v1/") or path == "/v1":
+            endpoint = path[len("/v1"):] or "/"
+            deprecated = False
+        else:
+            endpoint = path
+            deprecated = endpoint in _ENDPOINTS
         start = time.perf_counter()
-        engine = self.server.engine
-        metrics = engine.metrics
+        metrics = self.server.metrics
         try:
             if endpoint == "/healthz":
-                self._send_json(200, engine.health())
+                self._send_ok(self.server.backend.health(), deprecated=deprecated)
             elif endpoint == "/metrics":
-                self._send_json(200, self.server.metrics_snapshot())
-            elif endpoint in ("/bknn", "/topk"):
-                self._handle_query(endpoint)
+                self._send_ok(self.server.metrics_snapshot(), deprecated=deprecated)
+            elif endpoint in ("/query", "/bknn", "/topk"):
+                self._handle_query(endpoint, deprecated)
             elif endpoint == "/update":
-                self._handle_update()
+                self._handle_update(deprecated)
             else:
-                self._send_json(404, {"error": f"unknown endpoint {endpoint}"})
+                self._send_error(
+                    404, "not_found", f"unknown endpoint {path}"
+                )
                 metrics.record_request(endpoint, 0.0, error=True)
                 return
-        except BadRequest as error:
-            self._send_json(400, {"error": str(error)})
+        except (BadRequest, UnsupportedQueryError) as error:
+            self._send_error(400, "bad_request", str(error), deprecated=deprecated)
+            metrics.record_request(endpoint, 0.0, error=True)
+            return
+        except WorkerError as error:
+            # A cluster worker answered with a classified error: keep
+            # its code, map bad_request to 400 and anything else to 500.
+            status = 400 if error.code == "bad_request" else 500
+            self._send_error(
+                status, error.code, str(error), deprecated=deprecated
+            )
             metrics.record_request(endpoint, 0.0, error=True)
             return
         except ServerSaturated as error:
             metrics.record_shed()
-            self._send_json(503, {"error": str(error), "retry": True})
+            self._send_error(
+                503, "saturated", str(error), deprecated=deprecated, retry=True
+            )
             return
         except DeadlineExceeded as error:
             metrics.record_timeout()
-            self._send_json(504, {"error": str(error)})
+            self._send_error(
+                504, "deadline_exceeded", str(error), deprecated=deprecated
+            )
             return
         except BrokenPipeError:  # client went away mid-response
             return
         except Exception as error:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            self._send_error(
+                500, "internal", f"{type(error).__name__}: {error}",
+                deprecated=deprecated,
+            )
             metrics.record_request(endpoint, 0.0, error=True)
             return
         metrics.record_request(endpoint, time.perf_counter() - start)
@@ -150,66 +196,43 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def _handle_query(self, endpoint: str) -> None:
-        vertex, k, keywords, conjunctive = _parse_query_params(self._params())
-        engine = self.server.engine
+    def _handle_query(self, endpoint: str, deprecated: bool) -> None:
+        params = self._params()
         if endpoint == "/bknn":
-            job = lambda: engine.bknn(vertex, k, keywords, conjunctive=conjunctive)
-        else:
-            job = lambda: engine.top_k(vertex, k, keywords)
+            params["kind"] = "bknn"
+        elif endpoint == "/topk":
+            params["kind"] = "topk"
+            params.setdefault("mode", "or")
         try:
-            answer = self.server.pool.run(job, deadline=self.server.deadline)
+            query = Query.from_dict(params)
+        except KeyError as error:
+            raise BadRequest(f"missing query parameter: {error}") from None
+        except (TypeError, ValueError) as error:
+            raise BadRequest(str(error)) from None
+        backend = self.server.backend
+        try:
+            answer = self.server.pool.run(
+                lambda: backend.execute(query), deadline=self.server.deadline
+            )
+        except UnsupportedQueryError:
+            raise
         except ValueError as error:  # bad k / keywords from the core
             raise BadRequest(str(error)) from None
-        self._send_json(
-            200,
-            {
-                "results": [[obj, value] for obj, value in answer.results],
-                "cached": answer.cached,
-                "stats": {
-                    "iterations": answer.stats.iterations,
-                    "distance_computations": answer.stats.distance_computations,
-                    "lower_bound_computations": answer.stats.lower_bound_computations,
-                },
-            },
-        )
+        self._send_ok(answer.to_dict(), deprecated=deprecated)
 
-    def _handle_update(self) -> None:
+    def _handle_update(self, deprecated: bool) -> None:
         if self.command != "POST":
             raise BadRequest("/update requires POST")
         params = self._params()
-        op = params.get("op")
-        engine = self.server.engine
         try:
-            if op == "insert":
-                evicted = engine.insert_object(
-                    int(params["object"]), params["document"]
-                )
-            elif op == "delete":
-                evicted = engine.delete_object(int(params["object"]))
-            elif op == "add_keyword":
-                evicted = engine.add_keyword(
-                    int(params["object"]),
-                    str(params["keyword"]),
-                    int(params.get("frequency", 1)),
-                )
-            elif op == "remove_keyword":
-                evicted = engine.remove_keyword(
-                    int(params["object"]), str(params["keyword"])
-                )
-            elif op == "rebuild":
-                rebuilt = engine.rebuild_pending()
-                self._send_json(200, {"ok": True, "rebuilt": rebuilt})
-                return
-            else:
-                raise BadRequest(
-                    "op must be insert|delete|add_keyword|remove_keyword|rebuild"
-                )
-        except BadRequest:
-            raise
+            op = UpdateOp.from_dict(params)
         except (KeyError, TypeError, ValueError) as error:
             raise BadRequest(f"bad update request: {error}") from None
-        self._send_json(200, {"ok": True, "cache_evicted": evicted})
+        try:
+            summary = self.server.backend.apply(op)
+        except (KeyError, TypeError, ValueError) as error:
+            raise BadRequest(f"bad update request: {error}") from None
+        self._send_ok(summary, deprecated=deprecated)
 
 
 class QueryServer(ThreadingHTTPServer):
@@ -217,13 +240,17 @@ class QueryServer(ThreadingHTTPServer):
 
     Parameters
     ----------
-    engine:
-        The thread-safe serving engine.
+    backend:
+        Any ``execute``/``apply``/``health``/``metrics_snapshot``
+        implementation: a thread-safe :class:`Engine` or a
+        :class:`~repro.serve.cluster.ClusterCoordinator`.
     host, port:
         Bind address; port 0 picks an ephemeral port (see :attr:`port`).
     workers:
         Query worker threads (admission-controlled, independent of
-        connection handler threads).
+        connection handler threads).  With a cluster backend these only
+        shepherd requests over worker pipes — the query CPU burns in
+        the worker processes.
     max_queue:
         Admitted requests allowed to wait; excess is shed with 503.
     deadline:
@@ -234,7 +261,7 @@ class QueryServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        engine: Engine,
+        backend,
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 4,
@@ -243,13 +270,19 @@ class QueryServer(ThreadingHTTPServer):
         verbose: bool = False,
     ) -> None:
         super().__init__((host, port), _Handler)
-        self.engine = engine
+        self.backend = backend
+        self.metrics = ServerMetrics()
         self.pool = WorkerPool(
             workers=workers, max_queue=max_queue, default_deadline=deadline
         )
         self.deadline = deadline
         self.verbose = verbose
         self._thread: threading.Thread | None = None
+
+    @property
+    def engine(self):
+        """Backward-compatible alias for :attr:`backend`."""
+        return self.backend
 
     @property
     def port(self) -> int:
@@ -261,9 +294,16 @@ class QueryServer(ThreadingHTTPServer):
         return f"http://{self.server_address[0]}:{self.port}"
 
     def metrics_snapshot(self) -> dict:
-        """Everything ``/metrics`` reports, as one JSON-ready dict."""
-        snapshot = self.engine.metrics.snapshot()
-        snapshot["cache"] = self.engine.cache.snapshot()
+        """Everything ``/metrics`` reports, as one JSON-ready dict.
+
+        Backend counters (query cost totals, cache statistics, cluster
+        breakdowns) merged with the HTTP tier's own request/latency/
+        shedding accounting and admission-queue saturation signals.
+        """
+        snapshot = self.backend.metrics_snapshot()
+        http = self.metrics.snapshot()
+        for key in ("requests", "requests_total", "errors", "shed", "timeouts", "latency"):
+            snapshot[key] = http[key]
         snapshot["queue_depth"] = self.pool.queue_depth
         snapshot["workers"] = self.pool.workers
         snapshot["max_queue"] = self.pool.max_queue

@@ -23,7 +23,13 @@ from repro.serve.metrics import LatencyRecorder
 
 
 class ServeClient:
-    """Tiny JSON client for a running :class:`~repro.serve.http.QueryServer`."""
+    """Tiny JSON client for a running :class:`~repro.serve.http.QueryServer`.
+
+    Speaks the versioned ``/v1`` surface and unwraps the response
+    envelope: every method returns the ``"result"`` payload (the query
+    methods therefore yield the ``QueryResult.to_dict()`` shape with
+    ``results``/``hits``/``cached``/``stats``).
+    """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
@@ -41,16 +47,21 @@ class ServeClient:
                 method="POST",
             )
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            return json.loads(response.read())
+            envelope = json.loads(response.read())
+        return envelope.get("result", envelope)
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
+    def query(self, payload: dict) -> dict:
+        """POST a full :class:`repro.api.Query` dict to ``/v1/query``."""
+        return self._request("/v1/query", payload)
+
     def bknn(
         self, vertex: int, k: int, keywords: list[str], conjunctive: bool = False
     ) -> dict:
         return self._request(
-            "/bknn",
+            "/v1/bknn",
             {
                 "vertex": vertex,
                 "k": k,
@@ -61,17 +72,17 @@ class ServeClient:
 
     def top_k(self, vertex: int, k: int, keywords: list[str]) -> dict:
         return self._request(
-            "/topk", {"vertex": vertex, "k": k, "keywords": list(keywords)}
+            "/v1/topk", {"vertex": vertex, "k": k, "keywords": list(keywords)}
         )
 
     def update(self, **payload) -> dict:
-        return self._request("/update", payload)
+        return self._request("/v1/update", payload)
 
     def healthz(self) -> dict:
-        return self._request("/healthz")
+        return self._request("/v1/healthz")
 
     def metrics(self) -> dict:
-        return self._request("/metrics")
+        return self._request("/v1/metrics")
 
 
 @dataclass

@@ -1,0 +1,138 @@
+"""Placement policies: which worker(s) answer which query.
+
+Every worker holds the *complete* index (workers are forked from one
+built parent), so placement is a routing/cache-affinity decision, never
+a correctness one — any worker can answer any query.  Two policies:
+
+``replicate``
+    Queries go to any worker (least-loaded, round-robin tie-break).
+    Maximises throughput for uniform workloads; each worker's result
+    cache independently converges to the global hot set.
+
+``shard-by-keyword``
+    Keywords hash (stable CRC-32, not the randomised builtin ``hash``)
+    onto shards.  A query whose keywords live on one shard routes
+    there — that shard's cache then owns those keywords exclusively,
+    so N workers cache N disjoint hot sets instead of N copies of one.
+    Multi-shard queries:
+
+    * **conjunctive BkNN / top-k** route whole to the owner of the
+      *rarest* keyword (fewest live objects — K-SPIN's conjunctive
+      algorithm iterates the rarest inverted heap first, so that
+      shard's cache affinity matters most).  Safe precisely because
+      sharding is routing, not data partitioning.
+    * **disjunctive BkNN** scatters: each owning shard answers the
+      sub-query over its own keyword subset, and the coordinator
+      merges per-keyword kNN lists — the disjunctive result is the
+      k best of the union, which distributes over keyword subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.api import Query
+
+
+def shard_of(keyword: str, num_shards: int) -> int:
+    """The stable shard index owning ``keyword``.
+
+    CRC-32 rather than ``hash()``: Python randomises string hashes per
+    process, and the parent router and any rehydrated worker must agree
+    on ownership across process generations.
+    """
+    return zlib.crc32(keyword.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Where one query goes: one target, or a scatter set with sub-queries.
+
+    ``assignments`` maps worker index -> the (sub-)query that worker
+    runs.  ``scatter`` is True when results need a merge.
+    """
+
+    assignments: dict[int, Query] = field(default_factory=dict)
+    scatter: bool = False
+
+    @property
+    def single_target(self) -> int:
+        (index,) = self.assignments.keys()
+        return index
+
+
+class ReplicateRouter:
+    """Any worker can serve any query; pick the least-loaded one.
+
+    Load is the caller-maintained in-flight count per worker; ties are
+    broken round-robin so an idle cluster still spreads requests.
+    """
+
+    name = "replicate"
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def plan(self, query: Query, inflight: list[int]) -> RoutingPlan:
+        with self._lock:
+            turn = next(self._counter)
+        order = [(inflight[i], (i - turn) % self.num_workers, i)
+                 for i in range(self.num_workers)]
+        target = min(order)[2]
+        return RoutingPlan(assignments={target: query})
+
+
+class KeywordShardRouter:
+    """Keyword-hash placement with scatter-gather for disjunctive BkNN."""
+
+    name = "shard-by-keyword"
+
+    def __init__(self, num_workers: int, inverted_size=None) -> None:
+        """``inverted_size(keyword) -> int`` ranks keyword rarity for the
+        conjunctive/top-k single-owner rule; defaults to treating all
+        keywords as equally rare (first-owner order)."""
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._inverted_size = inverted_size or (lambda keyword: 0)
+
+    def plan(self, query: Query, inflight: list[int]) -> RoutingPlan:
+        by_shard: dict[int, list[str]] = {}
+        for keyword in query.keywords:
+            by_shard.setdefault(
+                shard_of(keyword, self.num_workers), []
+            ).append(keyword)
+        if len(by_shard) == 1:
+            (target,) = by_shard.keys()
+            return RoutingPlan(assignments={target: query})
+        if query.kind == "topk" or query.conjunctive:
+            # Whole query to the rarest keyword's owner: conjunctive
+            # results need every keyword's diagram anyway (each worker
+            # has them all), and the rarest inverted heap drives the
+            # search, so pin its cache locality.
+            rarest = min(
+                query.keywords,
+                key=lambda kw: (self._inverted_size(kw), kw),
+            )
+            target = shard_of(rarest, self.num_workers)
+            return RoutingPlan(assignments={target: query})
+        # Disjunctive BkNN distributes over keyword subsets: each shard
+        # answers k-best among its own keywords, the coordinator merges.
+        assignments = {
+            shard: Query(
+                vertex=query.vertex,
+                keywords=tuple(keywords),
+                k=query.k,
+                kind=query.kind,
+                mode=query.mode,
+            )
+            for shard, keywords in by_shard.items()
+        }
+        return RoutingPlan(assignments=assignments, scatter=True)

@@ -1,0 +1,114 @@
+"""Worker health supervision: detect dead workers, restart, rehydrate.
+
+A serving cluster must survive a worker being OOM-killed or segfaulting
+mid-request.  The :class:`Supervisor` runs one daemon thread that
+periodically sweeps the cluster's workers:
+
+* a worker whose process is no longer alive is restarted immediately;
+* a live-looking worker that fails a bounded ``ping`` (pipe wedged,
+  event loop hung) is killed and restarted.
+
+Restarting is delegated back to the coordinator
+(:meth:`ClusterCoordinator.restart_worker`), which holds the update
+lock while re-forking so the replacement inherits a consistent index —
+the supervisor only decides *when*, never *how*.
+
+The sweep also runs on demand: request paths that trip over a
+:class:`~repro.serve.ipc.WorkerDied` call :meth:`kick` so recovery
+starts immediately instead of waiting out the interval.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Supervisor:
+    """Background health checker with restart-on-failure.
+
+    Parameters
+    ----------
+    cluster:
+        The owning coordinator; must expose ``workers`` (list of
+        :class:`~repro.serve.ipc.WorkerHandle`) and
+        ``restart_worker(index)``.
+    interval:
+        Seconds between sweeps.
+    ping_timeout:
+        Per-worker liveness probe budget; a worker is only pinged when
+        its pipe is idle (a busy pipe proves the worker is running).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        interval: float = 1.0,
+        ping_timeout: float = 1.0,
+    ) -> None:
+        self._cluster = cluster
+        self.interval = interval
+        self.ping_timeout = ping_timeout
+        self.restarts = 0
+        self.sweeps = 0
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="cluster-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def kick(self) -> None:
+        """Request an immediate sweep (called on observed worker death)."""
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Sweeping
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self.interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            try:
+                self.check_once()
+            except Exception:  # noqa: BLE001 - supervision must not die
+                pass
+
+    def check_once(self) -> int:
+        """One sweep; returns how many workers were restarted."""
+        self.sweeps += 1
+        restarted = 0
+        for index, handle in enumerate(self._cluster.workers):
+            if handle is None:
+                continue
+            if not handle.is_alive():
+                dead = True
+            elif handle.inflight > 0:
+                # A request is mid-flight on the pipe: the process is
+                # demonstrably serving (or its death will surface there
+                # as WorkerDied and kick us). Don't queue a ping behind
+                # a long query and misread slowness as death.
+                dead = False
+            else:
+                dead = not handle.ping(timeout=self.ping_timeout)
+            if dead:
+                self._cluster.restart_worker(index)
+                self.restarts += 1
+                restarted += 1
+        return restarted

@@ -165,12 +165,14 @@ class TestServeCommand:
                     break
             assert url, "server never announced its URL"
             with urllib.request.urlopen(
-                f"{url}/bknn?vertex=0&k=2&keywords=kw0000", timeout=30
+                f"{url}/v1/bknn?vertex=0&k=2&keywords=kw0000", timeout=30
             ) as response:
                 body = json.loads(response.read())
-            assert len(body["results"]) == 2
-            with urllib.request.urlopen(f"{url}/healthz", timeout=30) as response:
-                assert json.loads(response.read())["status"] == "ok"
+            assert body["ok"] is True
+            assert len(body["result"]["results"]) == 2
+            with urllib.request.urlopen(f"{url}/v1/healthz", timeout=30) as response:
+                health = json.loads(response.read())
+            assert health["result"]["status"] == "ok"
         finally:
             process.send_signal(signal.SIGINT)
             try:

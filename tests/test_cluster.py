@@ -1,0 +1,423 @@
+"""The process-sharded serving cluster: equality, failover, rehydration.
+
+The load-bearing properties:
+
+* **Equality** — for any query, under either placement, the cluster
+  answers exactly what a single-process KSpin answers (up to ties at
+  equal scores, which scatter-gather merging may order differently).
+* **Updates** — fan-out keeps every worker in sync with the
+  authoritative parent, including across worker restarts.
+* **Fault tolerance** — SIGKILL-ing a worker mid-stream loses no
+  request and corrupts no answer; the supervisor restarts the
+  casualty and the replacement serves post-update state.
+"""
+
+import json
+import os
+import pickle
+import signal
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Query, UnsupportedQueryError, UpdateOp
+from repro.core import KSpin, results_equivalent
+from repro.datasets import load_dataset
+from repro.datasets.workloads import WorkloadGenerator
+from repro.distance import DijkstraOracle
+from repro.lowerbound import AltLowerBounder
+from repro.serve import ClusterCoordinator, QueryServer, ServeClient
+from repro.serve.placement import KeywordShardRouter, ReplicateRouter, shard_of
+
+
+@pytest.fixture(scope="module")
+def world():
+    return load_dataset("DE-S")
+
+
+@pytest.fixture(scope="module")
+def kspin(world):
+    return KSpin(
+        world.graph,
+        world.keywords,
+        oracle=DijkstraOracle(world.graph),
+        lower_bounder=AltLowerBounder(world.graph, num_landmarks=4),
+    )
+
+
+@pytest.fixture(scope="module")
+def keywords(world):
+    return sorted(world.keywords.keywords())
+
+
+@pytest.fixture(scope="module", params=["replicate", "shard-by-keyword"])
+def cluster(request, kspin):
+    coordinator = ClusterCoordinator(
+        kspin,
+        num_workers=2,
+        placement=request.param,
+        cache_size=0,
+        health_interval=0.2,
+        ping_timeout=2.0,
+    ).start()
+    yield coordinator
+    coordinator.close()
+
+
+def _direct(kspin, query):
+    """The single-process reference answer, bypassing shims and caches."""
+    if query.kind == "topk":
+        return kspin.processor.top_k(query.vertex, query.k, list(query.keywords))
+    return kspin.processor.bknn(
+        query.vertex, query.k, list(query.keywords), conjunctive=query.conjunctive
+    )
+
+
+# ----------------------------------------------------------------------
+# Equality with single-process execution
+# ----------------------------------------------------------------------
+class TestClusterEquality:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_any_query_matches_single_process(
+        self, data, cluster, kspin, keywords
+    ):
+        vertex = data.draw(
+            st.integers(min_value=0, max_value=kspin.graph.num_vertices - 1)
+        )
+        k = data.draw(st.integers(min_value=1, max_value=6))
+        vector = tuple(
+            data.draw(
+                st.lists(
+                    st.sampled_from(keywords[:12]),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        )
+        kind, mode = data.draw(
+            st.sampled_from([("bknn", "or"), ("bknn", "and"), ("topk", "or")])
+        )
+        query = Query(vertex=vertex, keywords=vector, k=k, kind=kind, mode=mode)
+        answer = cluster.execute(query)
+        assert results_equivalent(answer.pairs(), _direct(kspin, query))
+
+    def test_zipf_workload_matches_single_process(self, cluster, kspin, world):
+        generator = WorkloadGenerator(world.graph, world.keywords, seed=11)
+        workload = generator.zipf_queries(
+            num_terms=2, num_queries=40, num_distinct=12
+        )
+        for item in workload:
+            query = Query(vertex=item.vertex, keywords=item.keywords, k=5)
+            answer = cluster.execute(query)
+            assert results_equivalent(answer.pairs(), _direct(kspin, query))
+
+    def test_scatter_merges_multi_shard_disjunction(self, kspin, keywords):
+        """Find a keyword pair spanning shards; the merge must be exact."""
+        with ClusterCoordinator(
+            kspin, num_workers=2, placement="shard-by-keyword",
+            cache_size=0, supervise=False,
+        ) as cluster:
+            pair = next(
+                (a, b)
+                for i, a in enumerate(keywords)
+                for b in keywords[i + 1:]
+                if shard_of(a, 2) != shard_of(b, 2)
+            )
+            query = Query(vertex=3, keywords=pair, k=5)
+            answer = cluster.execute(query)
+            assert answer.worker and "," in answer.worker  # really scattered
+            assert results_equivalent(answer.pairs(), _direct(kspin, query))
+
+
+# ----------------------------------------------------------------------
+# Updates through the cluster
+# ----------------------------------------------------------------------
+class TestClusterUpdates:
+    def test_interleaved_updates_match_reference(self, world):
+        """Insert/delete through the cluster == the same ops on a clone."""
+        kspin = KSpin(
+            world.graph,
+            world.keywords,
+            oracle=DijkstraOracle(world.graph),
+            lower_bounder=AltLowerBounder(world.graph, num_landmarks=4),
+        )
+        reference = pickle.loads(pickle.dumps(kspin))
+        occupied = set(world.keywords.objects())
+        free = [v for v in world.graph.vertices() if v not in occupied][:4]
+        keywords = sorted(world.keywords.keywords())[:3]
+        ops = [
+            UpdateOp(op="insert", object=free[0], document=[keywords[0]]),
+            UpdateOp(op="insert", object=free[1],
+                     document=[keywords[0], keywords[1]]),
+            UpdateOp(op="delete", object=free[0]),
+            UpdateOp(op="insert", object=free[2], document=[keywords[2]]),
+            UpdateOp(op="add_keyword", object=free[1], keyword=keywords[2]),
+        ]
+        probes = [
+            Query(vertex=0, keywords=(keywords[0],), k=5),
+            Query(vertex=7, keywords=(keywords[0], keywords[1]), k=5, mode="and"),
+            Query(vertex=7, keywords=(keywords[2],), k=5, kind="topk"),
+        ]
+        with ClusterCoordinator(
+            kspin, num_workers=2, placement="shard-by-keyword",
+            cache_size=16, supervise=False,
+        ) as cluster:
+            for op in ops:
+                cluster.apply(op)
+                reference.apply(op)
+                for query in probes:
+                    answer = cluster.execute(query)
+                    assert results_equivalent(
+                        answer.pairs(), _direct(reference, query)
+                    ), (op, query)
+
+    def test_update_invalidates_worker_caches(self, world):
+        kspin = KSpin(
+            world.graph,
+            world.keywords,
+            oracle=DijkstraOracle(world.graph),
+            lower_bounder=AltLowerBounder(world.graph, num_landmarks=4),
+        )
+        keyword = sorted(world.keywords.keywords())[0]
+        occupied = set(world.keywords.objects())
+        free = next(v for v in world.graph.vertices() if v not in occupied)
+        query = Query(vertex=free, keywords=(keyword,), k=3)
+        with ClusterCoordinator(
+            kspin, num_workers=1, placement="replicate",
+            cache_size=64, supervise=False,
+        ) as cluster:
+            cluster.execute(query)
+            assert cluster.execute(query).cached  # warm
+            summary = cluster.apply(
+                UpdateOp(op="insert", object=free, document=[keyword])
+            )
+            assert summary["cache_evicted"] >= 1
+            fresh = cluster.execute(query)
+            assert not fresh.cached
+            assert fresh.pairs()[0] == (free, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance
+# ----------------------------------------------------------------------
+class TestClusterFaultTolerance:
+    def test_kill_dash_nine_loses_no_request(self, kspin, keywords):
+        """SIGKILL a worker mid-stream: every request correct, none lost."""
+        with ClusterCoordinator(
+            kspin, num_workers=2, placement="replicate",
+            cache_size=0, health_interval=0.2,
+        ) as cluster:
+            queries = [
+                Query(vertex=v, keywords=(keywords[v % 4],), k=3)
+                for v in range(30)
+            ]
+            for i, query in enumerate(queries):
+                if i == 10:  # mid-ladder murder
+                    victim = cluster.workers[0]
+                    os.kill(victim.process.pid, signal.SIGKILL)
+                answer = cluster.execute(query)
+                assert results_equivalent(
+                    answer.pairs(), _direct(kspin, query)
+                ), (i, query)
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if cluster.health()["workers"]["alive"] == 2:
+                    break
+                time.sleep(0.1)
+            health = cluster.health()
+            assert health["workers"]["alive"] == 2
+            assert health["workers"]["restarts"] >= 1
+
+    def test_restarted_worker_carries_updates(self, world, keywords):
+        """A worker re-forked after death serves post-update state."""
+        kspin = KSpin(
+            world.graph,
+            world.keywords,
+            oracle=DijkstraOracle(world.graph),
+            lower_bounder=AltLowerBounder(world.graph, num_landmarks=4),
+        )
+        occupied = set(world.keywords.objects())
+        free = next(v for v in world.graph.vertices() if v not in occupied)
+        with ClusterCoordinator(
+            kspin, num_workers=1, placement="replicate",
+            cache_size=0, supervise=False,
+        ) as cluster:
+            cluster.apply(
+                UpdateOp(op="insert", object=free, document=[keywords[0]])
+            )
+            os.kill(cluster.workers[0].process.pid, signal.SIGKILL)
+            time.sleep(0.1)
+            cluster.restart_worker(0)
+            answer = cluster.execute(
+                Query(vertex=free, keywords=(keywords[0],), k=1)
+            )
+            assert answer.pairs() == [(free, 0.0)]
+            assert answer.worker == "worker-0"  # served by the replacement
+
+    def test_whole_fleet_down_falls_back_to_parent(self, kspin, keywords):
+        with ClusterCoordinator(
+            kspin, num_workers=1, placement="replicate",
+            cache_size=0, supervise=False,
+        ) as cluster:
+            os.kill(cluster.workers[0].process.pid, signal.SIGKILL)
+            cluster.workers[0].process.join(timeout=5)
+            query = Query(vertex=0, keywords=(keywords[0],), k=3)
+            answer = cluster.execute(query)
+            assert results_equivalent(answer.pairs(), _direct(kspin, query))
+            assert cluster.fallback_queries >= 1
+
+
+# ----------------------------------------------------------------------
+# Spawn-mode rehydration
+# ----------------------------------------------------------------------
+class TestSpawnMode:
+    def test_spawned_worker_rehydrates_and_replays_journal(
+        self, kspin, keywords, tmp_path
+    ):
+        """No fork: load snapshot + replay journal, answers still exact."""
+        occupied = {
+            o for kw in kspin.index.keywords()
+            for o in kspin.dataset.inverted_list(kw)
+        }
+        free = next(
+            v for v in kspin.graph.vertices() if v not in occupied
+        )
+        with ClusterCoordinator(
+            kspin, num_workers=1, placement="replicate", cache_size=0,
+            start_method="spawn",
+            snapshot_path=str(tmp_path / "cluster.idx"),
+            supervise=False,
+        ) as cluster:
+            query = Query(vertex=0, keywords=(keywords[0],), k=3)
+            answer = cluster.execute(query)
+            assert results_equivalent(answer.pairs(), _direct(kspin, query))
+            assert answer.worker == "worker-0"
+            # Journal replay: update, kill, restart from snapshot+journal.
+            cluster.apply(
+                UpdateOp(op="insert", object=free, document=[keywords[0]])
+            )
+            os.kill(cluster.workers[0].process.pid, signal.SIGKILL)
+            cluster.workers[0].process.join(timeout=5)
+            cluster.restart_worker(0)
+            answer = cluster.execute(
+                Query(vertex=free, keywords=(keywords[0],), k=1)
+            )
+            assert answer.pairs() == [(free, 0.0)]
+            assert answer.worker == "worker-0"
+
+
+# ----------------------------------------------------------------------
+# HTTP front end over a cluster backend
+# ----------------------------------------------------------------------
+class TestClusterBehindHttp:
+    def test_query_server_serves_cluster_backend(self, kspin, keywords):
+        with ClusterCoordinator(
+            kspin, num_workers=2, placement="replicate",
+            cache_size=0, health_interval=0.2,
+        ) as cluster:
+            with QueryServer(
+                cluster, port=0, workers=4
+            ).start_background() as server:
+                client = ServeClient(server.url)
+                body = client.bknn(0, 3, [keywords[0]])
+                query = Query(vertex=0, keywords=(keywords[0],), k=3)
+                assert results_equivalent(
+                    [(o, d) for o, d in body["results"]],
+                    _direct(kspin, query),
+                )
+                assert body["worker"] in ("worker-0", "worker-1")
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["workers"]["alive"] == 2
+                metrics = client.metrics()
+                assert metrics["cluster"]["workers"] == 2
+                assert metrics["queries_served"] >= 1
+
+    def test_unsupported_query_is_bad_request_not_internal(
+        self, kspin, keywords
+    ):
+        """Conjunctive top-k through the cluster must 400, not 500."""
+        with ClusterCoordinator(
+            kspin, num_workers=1, placement="replicate",
+            cache_size=0, supervise=False,
+        ) as cluster:
+            with pytest.raises(UnsupportedQueryError):
+                cluster.execute(
+                    Query(vertex=0, keywords=(keywords[0],), k=2,
+                          kind="topk", mode="and")
+                )
+            with QueryServer(cluster, port=0, workers=2).start_background(
+            ) as server:
+                request = urllib.request.Request(
+                    f"{server.url}/v1/topk?vertex=0&k=2"
+                    f"&keywords={keywords[0]}&mode=and"
+                )
+                with pytest.raises(urllib.error.HTTPError) as info:
+                    urllib.request.urlopen(request, timeout=10)
+                assert info.value.code == 400
+                body = json.loads(info.value.read())
+                assert body["ok"] is False
+                assert body["error"]["code"] == "bad_request"
+
+
+# ----------------------------------------------------------------------
+# Routers in isolation
+# ----------------------------------------------------------------------
+class TestRouters:
+    def test_replicate_prefers_least_loaded(self):
+        router = ReplicateRouter(3)
+        query = Query(vertex=0, keywords=("a",))
+        plan = router.plan(query, [5, 0, 5])
+        assert plan.single_target == 1
+        assert not plan.scatter
+
+    def test_replicate_round_robins_when_tied(self):
+        router = ReplicateRouter(3)
+        query = Query(vertex=0, keywords=("a",))
+        targets = [router.plan(query, [0, 0, 0]).single_target for _ in range(6)]
+        assert set(targets) == {0, 1, 2}
+
+    def test_shard_single_keyword_routes_to_owner(self):
+        router = KeywordShardRouter(4)
+        query = Query(vertex=0, keywords=("thai",))
+        plan = router.plan(query, [0, 0, 0, 0])
+        assert plan.single_target == shard_of("thai", 4)
+
+    def test_shard_conjunctive_goes_to_rarest_owner(self):
+        sizes = {"common": 100, "rare": 2}
+        router = KeywordShardRouter(4, inverted_size=lambda kw: sizes[kw])
+        query = Query(vertex=0, keywords=("common", "rare"), mode="and")
+        plan = router.plan(query, [0, 0, 0, 0])
+        assert not plan.scatter
+        assert plan.single_target == shard_of("rare", 4)
+
+    def test_shard_disjunctive_scatters_with_keyword_subsets(self):
+        router = KeywordShardRouter(2)
+        spread = [
+            kw for kw in ("a", "b", "c", "d", "e", "f")
+        ]
+        by_shard = {}
+        for kw in spread:
+            by_shard.setdefault(shard_of(kw, 2), []).append(kw)
+        if len(by_shard) < 2:  # pragma: no cover - crc32 spreads these
+            pytest.skip("all probe keywords hashed to one shard")
+        query = Query(vertex=0, keywords=tuple(spread), k=3)
+        plan = router.plan(query, [0, 0])
+        assert plan.scatter
+        merged = sorted(
+            kw for sub in plan.assignments.values() for kw in sub.keywords
+        )
+        assert merged == sorted(spread)
+        for shard, sub in plan.assignments.items():
+            assert all(shard_of(kw, 2) == shard for kw in sub.keywords)
+            assert sub.k == query.k and sub.kind == query.kind

@@ -65,6 +65,44 @@ class TestParallelBuild:
             assert serial[keyword].live_objects() == parallel[keyword].live_objects()
             assert serial[keyword].adjacency == parallel[keyword].adjacency
 
+    def test_parallel_build_is_structurally_identical(self, grid, dataset):
+        """Worker-built diagrams fingerprint identically to serial ones.
+
+        The fingerprint covers everything that affects query answers
+        (objects, adjacency, MaxRadius, quadtree, tombstones) and skips
+        only wall-clock build time, so any nondeterminism introduced by
+        the process pool would fail this exact-match check.
+        """
+        serial = build_keyword_nvds(grid, dataset, rho=3, workers=1)
+        parallel = build_keyword_nvds(grid, dataset, rho=3, workers=2)
+        for keyword in serial:
+            assert (
+                serial[keyword].structural_fingerprint()
+                == parallel[keyword].structural_fingerprint()
+            ), f"keyword {keyword} diverged under parallel build"
+
+    def test_kspin_workers_flag_builds_identical_index(self, grid, dataset):
+        """KSpin(workers=2) drives the same parallel path end to end."""
+        from repro.core import KSpin
+        from repro.distance import DijkstraOracle
+        from repro.lowerbound import AltLowerBounder
+
+        serial = KSpin(
+            grid, dataset, oracle=DijkstraOracle(grid),
+            lower_bounder=AltLowerBounder(grid, num_landmarks=4),
+            rho=3, workers=1,
+        )
+        parallel = KSpin(
+            grid, dataset, oracle=DijkstraOracle(grid),
+            lower_bounder=AltLowerBounder(grid, num_landmarks=4),
+            rho=3, workers=2,
+        )
+        for keyword in dataset.keywords():
+            assert (
+                serial.index.nvd(keyword).structural_fingerprint()
+                == parallel.index.nvd(keyword).structural_fingerprint()
+            )
+
     def test_available_cores_positive(self):
         assert available_cores() >= 1
 

@@ -78,11 +78,50 @@ class TestQueryEndpoints:
 
     def test_get_with_query_string(self, server, kspin):
         with urllib.request.urlopen(
-            f"{server.url}/bknn?vertex=0&k=3&keywords=kw0000"
+            f"{server.url}/v1/bknn?vertex=0&k=3&keywords=kw0000"
         ) as response:
             body = json.loads(response.read())
-        assert [(o, d) for o, d in body["results"]] == kspin.bknn(0, 3, ["kw0000"])
-        assert "stats" in body
+        assert body["ok"] is True
+        result = body["result"]
+        assert [(o, d) for o, d in result["results"]] == kspin.bknn(0, 3, ["kw0000"])
+        assert "stats" in result and "hits" in result
+
+    def test_generic_query_endpoint(self, client, kspin):
+        result = client.query(
+            {"vertex": 5, "k": 3, "keywords": ["kw0000"], "kind": "topk"}
+        )
+        assert [(o, s) for o, s in result["results"]] == kspin.top_k(
+            5, 3, ["kw0000"]
+        )
+
+    def test_legacy_alias_serves_envelope_with_deprecation_header(
+        self, server, kspin
+    ):
+        with urllib.request.urlopen(
+            f"{server.url}/bknn?vertex=0&k=3&keywords=kw0000"
+        ) as response:
+            assert response.headers["Deprecation"] == "true"
+            body = json.loads(response.read())
+        assert body["ok"] is True
+        assert [(o, d) for o, d in body["result"]["results"]] == kspin.bknn(
+            0, 3, ["kw0000"]
+        )
+
+    def test_topk_conjunctive_is_bad_request(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/v1/query",
+            data=json.dumps(
+                {"vertex": 0, "keywords": ["kw0000"], "kind": "topk", "mode": "and"}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["ok"] is False
+        assert body["error"]["code"] == "bad_request"
 
     def test_cache_flag_round_trip(self, client):
         assert client.bknn(3, 2, ["kw0002"])["cached"] is False
@@ -94,7 +133,7 @@ class TestUpdateEndpoint:
         stale = client.bknn(0, 3, ["kw0000"])
         assert client.bknn(0, 3, ["kw0000"])["cached"] is True
         response = client.update(op="insert", object=0, document=["kw0000"])
-        assert response["ok"] and response["cache_evicted"] >= 1
+        assert response["applied"] == "insert" and response["cache_evicted"] >= 1
         fresh = client.bknn(0, 3, ["kw0000"])
         assert fresh["cached"] is False
         assert fresh["results"] != stale["results"]
@@ -110,12 +149,18 @@ class TestUpdateEndpoint:
         assert [(o, d) for o, d in after] == kspin.bknn(1, 2, ["kw0001"])
 
     def test_rebuild_op(self, client):
-        assert client.update(op="rebuild")["ok"] is True
+        response = client.update(op="rebuild")
+        assert response["applied"] == "rebuild"
+        assert "rebuilt" in response
 
     def test_bad_op_is_400(self, client):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             client.update(op="defragment")
         assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["ok"] is False
+        assert body["error"]["code"] == "bad_request"
+        assert "message" in body["error"]
 
 
 class TestOperationalEndpoints:
@@ -164,7 +209,9 @@ class TestOverload:
                     )
                 assert excinfo.value.code == 503
                 body = json.loads(excinfo.value.read())
-                assert body["retry"] is True
+                assert body["ok"] is False
+                assert body["error"]["code"] == "saturated"
+                assert body["error"]["retry"] is True
             finally:
                 release.set()
             assert server.metrics_snapshot()["shed"] >= 1
@@ -183,6 +230,8 @@ class TestOverload:
                         f"{server.url}/bknn?vertex=0&keywords=kw0000", timeout=10
                     )
                 assert excinfo.value.code == 504
+                body = json.loads(excinfo.value.read())
+                assert body["error"]["code"] == "deadline_exceeded"
             finally:
                 release.set()
             assert server.metrics_snapshot()["timeouts"] >= 1
