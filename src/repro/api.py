@@ -319,6 +319,21 @@ def stats_to_dict(stats: "QueryStats | None") -> dict:
     return {name: getattr(stats, name, 0) for name in STAT_FIELDS}
 
 
+def merge_stat_dicts(dicts: Iterable[Mapping]) -> dict:
+    """Sum §5.1 stats dicts via :meth:`QueryStats.merge` (one fold site).
+
+    Every aggregation of cost counters — scatter-gather merging, the
+    cluster metrics roll-up — goes through the dataclass's own ``merge``
+    so a new counter field is added in exactly one place.
+    """
+    from repro.core.query_processor import QueryStats
+
+    total = QueryStats()
+    for payload in dicts:
+        total.merge(QueryStats.from_dict(payload))
+    return stats_to_dict(total)
+
+
 def hits_from_pairs(
     kind: str, pairs: Iterable[tuple[int, float]]
 ) -> tuple[Hit, ...]:
@@ -350,10 +365,7 @@ def merge_results(
             if kept is None or hit.score < kept.score:
                 best[hit.object] = hit
     merged = sorted(best.values(), key=lambda h: (h.score, h.object))[:k]
-    stats: dict = {}
-    for part in parts:
-        for name, value in part.stats.items():
-            stats[name] = stats.get(name, 0) + value
+    stats = merge_stat_dicts(part.stats for part in parts)
     workers = sorted({part.worker for part in parts if part.worker})
     return QueryResult(
         hits=tuple(merged),

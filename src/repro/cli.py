@@ -11,6 +11,9 @@ Commands
     Load a saved index and answer a BkNN or top-k query.
 ``serve``
     Hold an index in memory and serve concurrent HTTP/JSON queries.
+``explain``
+    Run one query under a forced trace and pretty-print its span tree
+    with per-stage timings and the §5.1 cost counters.
 ``demo``
     Run the Figure-1 quickstart end to end.
 
@@ -217,10 +220,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.queue_size,
         deadline=args.deadline,
         verbose=args.verbose,
+        trace=args.trace,
+        trace_buffer=args.trace_buffer,
+        slow_query_threshold=args.slow_query_threshold,
     )
     print(f"Serving {kspin.graph.num_vertices}-vertex index on {server.url}")
     print("Endpoints: /v1/query /v1/bknn /v1/topk /v1/update /v1/healthz "
-          "/v1/metrics  (Ctrl-C to stop)")
+          "/v1/metrics /v1/debug/traces  (Ctrl-C to stop)")
+    if args.trace:
+        print("Tracing enabled: span trees at /v1/debug/traces, "
+              "Prometheus metrics at /v1/metrics?format=prometheus")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -230,6 +239,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if cluster is not None:
             cluster.close()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Answer one query under a forced trace; print the span tree."""
+    from repro.api import Query
+    from repro.obs.trace import TRACER, format_trace
+    from repro.serve.engine import Engine
+
+    if args.index:
+        from repro.persist import load_kspin
+
+        kspin = load_kspin(args.index)
+    else:
+        from repro.core import KSpin
+        from repro.datasets import load_dataset
+        from repro.lowerbound import AltLowerBounder
+
+        dataset = load_dataset(args.dataset)
+        kspin = KSpin(
+            dataset.graph,
+            dataset.keywords,
+            oracle=_build_oracle(args.oracle, dataset.graph),
+            lower_bounder=AltLowerBounder(
+                dataset.graph, num_landmarks=args.landmarks
+            ),
+        )
+    keywords = tuple(args.keywords)
+    if args.kind == "topk":
+        query = Query(args.vertex, keywords, k=args.k, kind="topk")
+    else:
+        mode = "and" if args.kind == "bknn-and" else "or"
+        query = Query(args.vertex, keywords, k=args.k, kind="bknn", mode=mode)
+    # Cache disabled so the trace shows the real execution path, not a
+    # cache hit; force=True traces even though the global tracer is off.
+    engine = Engine(kspin, cache_size=0)
+    start = time.perf_counter()
+    with TRACER.trace(
+        f"explain.{args.kind}",
+        force=True,
+        vertex=args.vertex,
+        k=args.k,
+        keywords=len(keywords),
+    ) as root:
+        result = engine.execute(query)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    print(f"{args.kind} query from vertex {args.vertex} for {list(keywords)}")
+    print()
+    print(format_trace(root.to_dict()))
+    print()
+    pairs = result.pairs()
+    if not pairs:
+        print("results: no matching objects")
+    else:
+        print("results:")
+        for rank, (obj, value) in enumerate(pairs, start=1):
+            print(f"  #{rank}: vertex {obj}  value={value:.4f}")
+    stats = result.stats or {}
+    print("cost model (paper 5.1):")
+    print(f"  iterations (kappa):      {stats.get('iterations', 0)}")
+    print(f"  distance computations:   {stats.get('distance_computations', 0)}")
+    print(f"  lower-bound evaluations: {stats.get('lower_bound_computations', 0)}")
+    print(f"  heap insertions:         {stats.get('heap_insertions', 0)}")
+    print(f"  heaps created:           {stats.get('heaps_created', 0)}")
+    print(f"wall time: {wall_ms:.3f} ms (traced {root.duration * 1000.0:.3f} ms)")
     return 0
 
 
@@ -343,6 +417,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline in seconds (504 when missed)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--trace", action="store_true",
+                       help="trace every query (span trees at "
+                            "/v1/debug/traces, per-stage histograms in "
+                            "/v1/metrics)")
+    serve.add_argument("--trace-buffer", type=int, default=64,
+                       help="recent traces kept for /v1/debug/traces")
+    serve.add_argument("--slow-query-threshold", type=float, default=None,
+                       metavar="SECONDS",
+                       help="traced queries at least this slow also land "
+                            "in the slow-query log")
+
+    explain = commands.add_parser(
+        "explain",
+        help="trace one query and print its span tree with stage timings",
+    )
+    explain_source = explain.add_mutually_exclusive_group()
+    explain_source.add_argument("--index", help="saved index file (from `build`)")
+    explain_source.add_argument("--dataset", default="ME-S",
+                                help="ladder dataset to build (default ME-S)")
+    explain.add_argument("--oracle", default="ch",
+                         choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"],
+                         help="distance oracle when building from --dataset")
+    explain.add_argument("--landmarks", type=int, default=16)
+    explain.add_argument("--vertex", type=int, required=True)
+    explain.add_argument("--keywords", nargs="+", required=True)
+    explain.add_argument("--k", type=int, default=10)
+    kind = explain.add_mutually_exclusive_group()
+    kind.add_argument("--bknn", dest="kind", action="store_const",
+                      const="bknn", help="disjunctive BkNN (default)")
+    kind.add_argument("--bknn-and", dest="kind", action="store_const",
+                      const="bknn-and", help="conjunctive BkNN")
+    kind.add_argument("--topk", dest="kind", action="store_const",
+                      const="topk", help="weighted top-k")
+    explain.set_defaults(kind="bknn")
 
     commands.add_parser("demo", help="run the Figure-1 quickstart")
     return parser
@@ -355,6 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": _cmd_build,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "explain": _cmd_explain,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

@@ -37,6 +37,7 @@ import math
 
 from repro.lowerbound.base import LowerBounder
 from repro.nvd.approximate import ApproximateNVD
+from repro.obs.trace import timed as trace_timed
 
 INFINITY = math.inf
 
@@ -88,7 +89,8 @@ class InvertedHeap:
         if obj in self._inserted:
             return
         self._inserted.add(obj)
-        bound = self._lower_bounder.lower_bound(self._query, obj)
+        with trace_timed("lb.compute"):
+            bound = self._lower_bounder.lower_bound(self._query, obj)
         self.lower_bound_computations += 1
         heapq.heappush(self._heap, (bound, obj))
 
@@ -121,8 +123,9 @@ class InvertedHeap:
 
     def _lazy_reheap(self, extracted: int) -> None:
         """Algorithm 4: insert the extracted object's adjacent objects."""
-        for neighbor in self._nvd.neighbors(extracted):
-            self._insert(neighbor)
+        with trace_timed("heap.lazy_reheap"):
+            for neighbor in self._nvd.neighbors(extracted):
+                self._insert(neighbor)
 
     @property
     def inserted_count(self) -> int:

@@ -34,7 +34,7 @@ from typing import Iterable, Mapping
 
 from repro.graph.road_network import RoadNetwork
 from repro.nvd.approximate import ApproximateNVD, DistanceFn
-from repro.nvd.builder import build_keyword_nvds
+from repro.nvd.builder import BuildProgress, build_keyword_nvds
 from repro.text.documents import KeywordDataset
 
 
@@ -71,8 +71,10 @@ class KeywordSeparatedIndex:
         self.rho = rho
         self.rebuild_threshold = rebuild_threshold
         start = time.perf_counter()
+        self.build_progress = BuildProgress()
         self._nvds: dict[str, ApproximateNVD] = build_keyword_nvds(
-            graph, dataset, rho=rho, workers=workers
+            graph, dataset, rho=rho, workers=workers,
+            progress=self.build_progress,
         )
         self.build_seconds = time.perf_counter() - start
         # Documents of objects inserted after construction (the dataset

@@ -28,6 +28,8 @@ from repro.core.heap_generator import HeapGenerator, InvertedHeap
 from repro.core.keyword_index import KeywordSeparatedIndex
 from repro.distance.base import DistanceOracle
 from repro.graph.road_network import RoadNetwork
+from repro.obs.trace import span as trace_span
+from repro.obs.trace import timed as trace_timed
 from repro.text.relevance import RelevanceModel
 
 INFINITY = math.inf
@@ -42,6 +44,37 @@ class QueryStats:
     lower_bound_computations: int = 0
     heap_insertions: int = 0
     heaps_created: int = 0
+
+    #: The counter names, in reporting order (mirrored by
+    #: ``repro.api.STAT_FIELDS`` for the wire format).
+    FIELDS = (
+        "iterations",
+        "distance_computations",
+        "lower_bound_computations",
+        "heap_insertions",
+        "heaps_created",
+    )
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Fold ``other``'s counters into this one; returns self.
+
+        The single merge implementation behind every aggregation site
+        (server totals, cluster metrics merge, scatter-gather stats).
+        """
+        for name in self.FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name, 0))
+        return self
+
+    def __iadd__(self, other: "QueryStats") -> "QueryStats":
+        return self.merge(other)
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryStats":
+        """Rebuild from a JSON/IPC stats dict (unknown keys ignored)."""
+        return cls(**{name: int(payload.get(name, 0)) for name in cls.FIELDS})
 
 
 @dataclass
@@ -133,27 +166,29 @@ class QueryProcessor:
         heaps = self._create_heaps(query, keywords, stats)
         results = _TopKList(k)
         evaluated: set[int] = set()
-        queue: list[tuple[float, int]] = []
-        for i, heap in enumerate(heaps):
-            if not heap.empty():
-                queue.append((heap.min_key(), i))
-        heapq.heapify(queue)
-        while queue and queue[0][0] < results.threshold():
-            _, i = heapq.heappop(queue)
-            popped = heaps[i].pop()
-            if not heaps[i].empty():
-                heapq.heappush(queue, (heaps[i].min_key(), i))
-            if popped is None:
-                continue
-            candidate, _ = popped
-            if candidate in evaluated:
-                continue
-            evaluated.add(candidate)
-            stats.iterations += 1
-            distance = self._oracle.distance(query, candidate)
-            stats.distance_computations += 1
-            if distance < INFINITY:  # unreachable objects are not results
-                results.offer(candidate, distance)
+        with trace_span("processor.search", algorithm="bknn-or"):
+            queue: list[tuple[float, int]] = []
+            for i, heap in enumerate(heaps):
+                if not heap.empty():
+                    queue.append((heap.min_key(), i))
+            heapq.heapify(queue)
+            while queue and queue[0][0] < results.threshold():
+                _, i = heapq.heappop(queue)
+                popped = heaps[i].pop()
+                if not heaps[i].empty():
+                    heapq.heappush(queue, (heaps[i].min_key(), i))
+                if popped is None:
+                    continue
+                candidate, _ = popped
+                if candidate in evaluated:
+                    continue
+                evaluated.add(candidate)
+                stats.iterations += 1
+                with trace_timed("oracle.distance"):
+                    distance = self._oracle.distance(query, candidate)
+                stats.distance_computations += 1
+                if distance < INFINITY:  # unreachable objects are not results
+                    results.offer(candidate, distance)
         self._finish_stats(stats, heaps)
         return results.sorted_results()
 
@@ -170,18 +205,20 @@ class QueryProcessor:
         heaps = self._create_heaps(query, [rare], stats)
         heap = heaps[0]
         results = _TopKList(k)
-        while not heap.empty() and heap.min_key() < results.threshold():
-            popped = heap.pop()
-            if popped is None:
-                break
-            candidate, _ = popped
-            stats.iterations += 1
-            if not all(self._index.has_keyword(candidate, t) for t in keywords):
-                continue  # filtered without touching the distance oracle
-            distance = self._oracle.distance(query, candidate)
-            stats.distance_computations += 1
-            if distance < INFINITY:
-                results.offer(candidate, distance)
+        with trace_span("processor.search", algorithm="bknn-and"):
+            while not heap.empty() and heap.min_key() < results.threshold():
+                popped = heap.pop()
+                if popped is None:
+                    break
+                candidate, _ = popped
+                stats.iterations += 1
+                if not all(self._index.has_keyword(candidate, t) for t in keywords):
+                    continue  # filtered without touching the distance oracle
+                with trace_timed("oracle.distance"):
+                    distance = self._oracle.distance(query, candidate)
+                stats.distance_computations += 1
+                if distance < INFINITY:
+                    results.offer(candidate, distance)
         self._finish_stats(stats, heaps)
         return results.sorted_results()
 
@@ -221,32 +258,34 @@ class QueryProcessor:
                 )
             return self._valid_lower_bound(heaps[i], keywords, query_impacts)
 
-        queue: list[tuple[float, int]] = []
-        for i, heap in enumerate(heaps):
-            if not heap.empty():
-                queue.append((heap_score(i), i))
-        heapq.heapify(queue)
-        while queue and queue[0][0] < results.threshold():
-            _, i = heapq.heappop(queue)
-            popped = heaps[i].pop()
-            if not heaps[i].empty():
-                heapq.heappush(queue, (heap_score(i), i))
-            if popped is None:
-                continue
-            candidate, bound = popped
-            if candidate in processed:
-                continue
-            processed.add(candidate)
-            stats.iterations += 1
-            relevance = self._textual_relevance(keywords, candidate, query_impacts)
-            if relevance <= 0.0:
-                continue
-            if bound / relevance > results.threshold():
-                continue  # cheap LB score filter (Algorithm 3, line 10)
-            distance = self._oracle.distance(query, candidate)
-            stats.distance_computations += 1
-            if distance < INFINITY:
-                results.offer(candidate, distance / relevance)
+        with trace_span("processor.search", algorithm="topk"):
+            queue: list[tuple[float, int]] = []
+            for i, heap in enumerate(heaps):
+                if not heap.empty():
+                    queue.append((heap_score(i), i))
+            heapq.heapify(queue)
+            while queue and queue[0][0] < results.threshold():
+                _, i = heapq.heappop(queue)
+                popped = heaps[i].pop()
+                if not heaps[i].empty():
+                    heapq.heappush(queue, (heap_score(i), i))
+                if popped is None:
+                    continue
+                candidate, bound = popped
+                if candidate in processed:
+                    continue
+                processed.add(candidate)
+                stats.iterations += 1
+                relevance = self._textual_relevance(keywords, candidate, query_impacts)
+                if relevance <= 0.0:
+                    continue
+                if bound / relevance > results.threshold():
+                    continue  # cheap LB score filter (Algorithm 3, line 10)
+                with trace_timed("oracle.distance"):
+                    distance = self._oracle.distance(query, candidate)
+                stats.distance_computations += 1
+                if distance < INFINITY:
+                    results.offer(candidate, distance / relevance)
         self._finish_stats(stats, heaps)
         return results.sorted_results()
 
@@ -303,32 +342,34 @@ class QueryProcessor:
                     ) * self._relevance.max_impact(keyword)
             return score(min_key, min(1.0, pseudo_relevance))
 
-        queue: list[tuple[float, int]] = []
-        for i, heap in enumerate(heaps):
-            if not heap.empty():
-                queue.append((heap_bound(i), i))
-        heapq.heapify(queue)
-        while queue and queue[0][0] < results.threshold():
-            _, i = heapq.heappop(queue)
-            popped = heaps[i].pop()
-            if not heaps[i].empty():
-                heapq.heappush(queue, (heap_bound(i), i))
-            if popped is None:
-                continue
-            candidate, bound = popped
-            if candidate in processed:
-                continue
-            processed.add(candidate)
-            stats.iterations += 1
-            relevance = self._textual_relevance(keywords, candidate, query_impacts)
-            if relevance <= 0.0:
-                continue
-            if score(bound, relevance) > results.threshold():
-                continue
-            distance = self._oracle.distance(query, candidate)
-            stats.distance_computations += 1
-            if distance < INFINITY:
-                results.offer(candidate, score(distance, relevance))
+        with trace_span("processor.search", algorithm="topk-weighted-sum"):
+            queue: list[tuple[float, int]] = []
+            for i, heap in enumerate(heaps):
+                if not heap.empty():
+                    queue.append((heap_bound(i), i))
+            heapq.heapify(queue)
+            while queue and queue[0][0] < results.threshold():
+                _, i = heapq.heappop(queue)
+                popped = heaps[i].pop()
+                if not heaps[i].empty():
+                    heapq.heappush(queue, (heap_bound(i), i))
+                if popped is None:
+                    continue
+                candidate, bound = popped
+                if candidate in processed:
+                    continue
+                processed.add(candidate)
+                stats.iterations += 1
+                relevance = self._textual_relevance(keywords, candidate, query_impacts)
+                if relevance <= 0.0:
+                    continue
+                if score(bound, relevance) > results.threshold():
+                    continue
+                with trace_timed("oracle.distance"):
+                    distance = self._oracle.distance(query, candidate)
+                stats.distance_computations += 1
+                if distance < INFINITY:
+                    results.offer(candidate, score(distance, relevance))
         self._finish_stats(stats, heaps)
         return results.sorted_results()
 
@@ -345,18 +386,19 @@ class QueryProcessor:
         ``MINKEY(H_i) >= MINKEY(H_j)`` — objects closer than another
         heap's MINKEY would already have surfaced there.
         """
-        min_key = heaps[i].min_key()
-        if min_key == INFINITY:
-            return INFINITY
-        pseudo_relevance = 0.0
-        for j, keyword in enumerate(heap_keywords):
-            if min_key >= heaps[j].min_key():
-                pseudo_relevance += query_impacts.get(
-                    keyword, 0.0
-                ) * self._relevance.max_impact(keyword)
-        if pseudo_relevance <= 0.0:
-            return INFINITY
-        return min_key / pseudo_relevance
+        with trace_timed("processor.pseudo_lb"):
+            min_key = heaps[i].min_key()
+            if min_key == INFINITY:
+                return INFINITY
+            pseudo_relevance = 0.0
+            for j, keyword in enumerate(heap_keywords):
+                if min_key >= heaps[j].min_key():
+                    pseudo_relevance += query_impacts.get(
+                        keyword, 0.0
+                    ) * self._relevance.max_impact(keyword)
+            if pseudo_relevance <= 0.0:
+                return INFINITY
+            return min_key / pseudo_relevance
 
     def _valid_lower_bound(
         self,
@@ -389,17 +431,18 @@ class QueryProcessor:
     def _create_heaps(
         self, query: int, keywords: list[str], stats: QueryStats
     ) -> list[InvertedHeap]:
-        coordinates = self._graph.coordinates(query)
-        heaps = []
-        for keyword in keywords:
-            nvd = self._index.nvd(keyword)
-            if nvd is None or not nvd.live_objects():
-                continue
-            heaps.append(
-                self._heap_generator.heap_for(keyword, nvd, query, coordinates)
-            )
-            stats.heaps_created += 1
-        return heaps
+        with trace_span("processor.heap_generation", keywords=len(keywords)):
+            coordinates = self._graph.coordinates(query)
+            heaps = []
+            for keyword in keywords:
+                nvd = self._index.nvd(keyword)
+                if nvd is None or not nvd.live_objects():
+                    continue
+                heaps.append(
+                    self._heap_generator.heap_for(keyword, nvd, query, coordinates)
+                )
+                stats.heaps_created += 1
+            return heaps
 
     def _finish_stats(self, stats: QueryStats, heaps: list[InvertedHeap]) -> None:
         for heap in heaps:

@@ -153,15 +153,20 @@ class DirectedKSpin:
         )
 
         ensure_supported(query, "DirectedKSpin")
-        if query.kind == "bknn":
-            pairs = self.processor.bknn(
-                query.vertex,
-                query.k,
-                list(query.keywords),
-                conjunctive=query.conjunctive,
-            )
-        else:
-            pairs = self.processor.top_k(query.vertex, query.k, list(query.keywords))
+        from repro.obs.trace import span as trace_span
+
+        with trace_span("directed.execute", kind=query.kind):
+            if query.kind == "bknn":
+                pairs = self.processor.bknn(
+                    query.vertex,
+                    query.k,
+                    list(query.keywords),
+                    conjunctive=query.conjunctive,
+                )
+            else:
+                pairs = self.processor.top_k(
+                    query.vertex, query.k, list(query.keywords)
+                )
         return QueryResult(
             hits=hits_from_pairs(query.kind, pairs),
             stats=stats_to_dict(self.processor.last_stats),

@@ -18,11 +18,77 @@ This module provides:
 from __future__ import annotations
 
 import os
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.graph.road_network import RoadNetwork
 from repro.nvd.approximate import ApproximateNVD
 from repro.text.documents import KeywordDataset
+
+
+class BuildProgress:
+    """Thread-safe index-build progress counters for ``/metrics``.
+
+    One instance rides along a :func:`build_keyword_nvds` call (serial
+    or parallel) and is advanced as each keyword diagram completes, so a
+    scrape during a long build reports ``completed``/``total`` instead
+    of going dark.  ``snapshot()`` is safe from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+        self.completed = 0
+        self.running = False
+        self._started: float | None = None
+        self._elapsed = 0.0
+
+    def begin(self, total: int) -> None:
+        with self._lock:
+            self.total = total
+            self.completed = 0
+            self.running = True
+            self._started = time.perf_counter()
+
+    def advance(self, count: int = 1) -> None:
+        with self._lock:
+            self.completed += count
+
+    def finish(self) -> None:
+        with self._lock:
+            self.running = False
+            if self._started is not None:
+                self._elapsed = time.perf_counter() - self._started
+
+    # Locks don't pickle; a persisted index carries only the final
+    # counters (a loaded snapshot is by definition not mid-build).
+    def __getstate__(self) -> dict:
+        snapshot = self.snapshot()
+        return {
+            "total": snapshot["total"],
+            "completed": snapshot["completed"],
+            "elapsed": snapshot["elapsed_seconds"],
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self.total = int(state.get("total", 0))
+        self.completed = int(state.get("completed", 0))
+        self._elapsed = float(state.get("elapsed", 0.0))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self.running and self._started is not None:
+                elapsed = time.perf_counter() - self._started
+            else:
+                elapsed = self._elapsed
+            return {
+                "total": self.total,
+                "completed": self.completed,
+                "running": self.running,
+                "elapsed_seconds": elapsed,
+            }
 
 # Shared state for forked worker processes (set by the pool initializer;
 # fork shares it copy-on-write so the graph is never pickled per task).
@@ -50,6 +116,7 @@ def build_keyword_nvds(
     dataset: KeywordDataset,
     rho: int = 5,
     workers: int = 1,
+    progress: BuildProgress | None = None,
 ) -> dict[str, ApproximateNVD]:
     """Build the APX-NVD for every keyword in the corpus.
 
@@ -64,6 +131,10 @@ def build_keyword_nvds(
         NVD construction entirely (Observation 1).
     workers:
         Process count; 1 builds serially in-process.
+    progress:
+        Optional :class:`BuildProgress` advanced as each diagram
+        completes (both serial and pooled paths), for live ``/metrics``
+        visibility during long builds.
 
     Returns
     -------
@@ -72,15 +143,31 @@ def build_keyword_nvds(
     tasks = [
         (keyword, dataset.inverted_list(keyword)) for keyword in dataset.keywords()
     ]
-    if workers <= 1:
-        _init_worker(graph, rho)
-        return dict(_build_one(task) for task in tasks)
-    # Build big diagrams first so the pool's tail is short (LPT order).
-    tasks.sort(key=lambda t: -len(t[1]))
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(graph, rho)
-    ) as pool:
-        return dict(pool.map(_build_one, tasks, chunksize=8))
+    if progress is not None:
+        progress.begin(len(tasks))
+    try:
+        result: dict[str, ApproximateNVD] = {}
+        if workers <= 1:
+            _init_worker(graph, rho)
+            for task in tasks:
+                keyword, nvd = _build_one(task)
+                result[keyword] = nvd
+                if progress is not None:
+                    progress.advance()
+            return result
+        # Build big diagrams first so the pool's tail is short (LPT order).
+        tasks.sort(key=lambda t: -len(t[1]))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(graph, rho)
+        ) as pool:
+            for keyword, nvd in pool.map(_build_one, tasks, chunksize=8):
+                result[keyword] = nvd
+                if progress is not None:
+                    progress.advance()
+        return result
+    finally:
+        if progress is not None:
+            progress.finish()
 
 
 def available_cores() -> int:

@@ -1,0 +1,55 @@
+"""``repro.obs`` — observability for the K-SPIN serving stack.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.histogram` — :class:`LogHistogram`, a fixed
+  log-linear-bucketed latency histogram.  Constant memory, exact bucket
+  counts, and **lossless merging**: summing two histograms' buckets
+  yields exactly the histogram of the pooled samples, so cluster-level
+  p50/p95/p99 computed from merged worker histograms are correct (the
+  sampling reservoirs they replace could not be re-ranked across
+  workers).
+* :mod:`repro.obs.trace` — a lightweight span API
+  (``with span("oracle.distance"): ...``) with trace IDs minted at HTTP
+  ingress, propagated across threads and the cluster IPC boundary, and
+  reassembled into one tree; a ring buffer of recent traces and a
+  slow-query log.  Near-zero overhead when no trace is active: every
+  instrumentation point is a single ``ContextVar`` read returning a
+  shared no-op.
+* :mod:`repro.obs.prometheus` — the Prometheus text exposition format
+  (``/v1/metrics?format=prometheus``) rendered from the JSON metrics
+  snapshot, including ``_bucket``/``_sum``/``_count`` series for every
+  histogram.
+
+The vocabulary is the paper's §5.1 cost model — iterations κ, exact
+distance computations, lower-bound computations, heap operations — so a
+trace explains *where* a slow query spent its budget in the same terms
+the complexity analysis is written in.
+"""
+
+from repro.obs.histogram import LogHistogram, PROMETHEUS_BOUNDS
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    TRACER,
+    annotate,
+    attach,
+    current_span,
+    format_trace,
+    span,
+    timed,
+)
+
+__all__ = [
+    "LogHistogram",
+    "PROMETHEUS_BOUNDS",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "annotate",
+    "attach",
+    "current_span",
+    "format_trace",
+    "span",
+    "timed",
+]

@@ -1,0 +1,228 @@
+"""Fixed log-linear-bucketed histograms that merge losslessly.
+
+Why the serving tier needs this
+-------------------------------
+The first serving PR recorded latencies in a per-process sampling
+reservoir.  Reservoirs give unbiased percentiles for *one* stream, but
+two reservoirs cannot be combined into the percentiles of the pooled
+stream — the cluster coordinator was reduced to reporting the *worst*
+worker's p99, which over- or under-states the fleet tail arbitrarily.
+
+:class:`LogHistogram` fixes this the way HdrHistogram / Prometheus do:
+a **fixed** bucket layout shared by every instance, so merging is just
+adding bucket counts — exact, associative, order-independent.  The
+layout is log-linear: each power-of-two range (octave) is split into
+``SUBBUCKETS`` equal-width buckets, giving a bounded relative error of
+``1 / SUBBUCKETS`` (6.25% bucket width, ≤ ~3.1% to the bucket midpoint)
+across the whole range with constant memory.
+
+Everything is a pure function of the bucket counts (plus the exactly
+mergeable ``count``/``total``/``min``/``max``), so for any set of
+histograms::
+
+    merge(h1, h2).percentile(q) == histogram_of(pooled samples).percentile(q)
+
+holds *exactly* — the property the cross-worker merging tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+#: Linear subdivisions of each power-of-two range.  16 sub-buckets keep
+#: the worst-case quantisation error at 1/32 of the value (~3.1%).
+SUBBUCKETS = 16
+
+#: Smallest / largest distinguishable values, as ``math.frexp`` exponents.
+#: 2**-20 ≈ 0.95 µs up to 2**11 = 2048 s; everything outside clamps.
+_MIN_EXP = -19
+_MAX_EXP = 11
+
+_NUM_BUCKETS = (_MAX_EXP - _MIN_EXP + 1) * SUBBUCKETS
+
+#: The ``le`` ladder used for Prometheus exposition (seconds).  Coarser
+#: than the internal layout — scrapes stay small while percentile math
+#: keeps the fine buckets.
+PROMETHEUS_BOUNDS = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+
+def bucket_index(value: float) -> int:
+    """The fixed bucket holding ``value`` (clamped to the layout range)."""
+    if value <= 0.0:
+        return 0
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    if exponent < _MIN_EXP:
+        return 0
+    if exponent > _MAX_EXP:
+        return _NUM_BUCKETS - 1
+    sub = int((mantissa - 0.5) * 2.0 * SUBBUCKETS)
+    if sub >= SUBBUCKETS:  # mantissa == 1.0 - epsilon rounding guard
+        sub = SUBBUCKETS - 1
+    return (exponent - _MIN_EXP) * SUBBUCKETS + sub
+
+
+def bucket_bounds(index: int) -> tuple[float, float]:
+    """The ``[low, high)`` value range of bucket ``index``."""
+    exponent = _MIN_EXP + index // SUBBUCKETS
+    sub = index % SUBBUCKETS
+    scale = math.ldexp(1.0, exponent)
+    low = (0.5 + sub / (2.0 * SUBBUCKETS)) * scale
+    high = (0.5 + (sub + 1) / (2.0 * SUBBUCKETS)) * scale
+    return low, high
+
+
+def bucket_midpoint(index: int) -> float:
+    low, high = bucket_bounds(index)
+    return (low + high) / 2.0
+
+
+class LogHistogram:
+    """A mergeable histogram over positive values (typically seconds).
+
+    Buckets are stored sparsely (``{bucket_index: count}``), so an idle
+    endpoint costs a few dozen bytes while the layout itself spans six
+    decades.  All public reads are pure functions of the merged state,
+    which is what makes cluster-level percentiles exact.
+
+    Not internally locked: callers that share an instance across threads
+    must serialise access (``ServerMetrics`` holds its own mutex).
+    """
+
+    __slots__ = ("_buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording / merging
+    # ------------------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value``."""
+        if count <= 0:
+            return
+        index = bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += count
+        self.total += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (lossless); returns self."""
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def __iadd__(self, other: "LogHistogram") -> "LogHistogram":
+        return self.merge(other)
+
+    @classmethod
+    def merged(cls, histograms: Iterable["LogHistogram"]) -> "LogHistogram":
+        """A fresh histogram equal to the pool of every input's samples."""
+        result = cls()
+        for histogram in histograms:
+            result.merge(histogram)
+        return result
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100); 0 when empty.
+
+        Returns the midpoint of the bucket containing the rank-``q``
+        observation, clamped to the exactly-tracked ``[min, max]`` so
+        sparse histograms never report values outside what was seen.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                return min(max(bucket_midpoint(index), self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def cumulative(self, bounds: Iterable[float] = PROMETHEUS_BOUNDS) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs for Prometheus ``_bucket`` series.
+
+        An observation counts toward bound ``le`` when its whole bucket
+        lies at or below ``le``; the trailing ``+Inf`` bucket (appended
+        by the renderer as ``count``) absorbs the rest, so the series is
+        monotone and consistent with ``_count``.
+        """
+        ordered = sorted(self._buckets)
+        result = []
+        cumulative = 0
+        position = 0
+        for bound in bounds:
+            while position < len(ordered) and bucket_bounds(ordered[position])[1] <= bound:
+                cumulative += self._buckets[ordered[position]]
+                position += 1
+            result.append((bound, cumulative))
+        return result
+
+    # ------------------------------------------------------------------
+    # Serialisation (IPC / JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-ready form; ``from_dict`` + ``merge`` round-trips exactly."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(index): count for index, count in self._buckets.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LogHistogram":
+        histogram = cls()
+        for key, count in (payload.get("buckets") or {}).items():
+            histogram._buckets[int(key)] = int(count)
+        histogram.count = int(payload.get("count", 0))
+        histogram.total = float(payload.get("total", 0.0))
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        histogram.min = float(minimum) if minimum is not None else math.inf
+        histogram.max = float(maximum) if maximum is not None else 0.0
+        return histogram
+
+    def summary_ms(self) -> dict:
+        """The classic ``/metrics`` latency block (milliseconds) plus the
+        mergeable bucket payload cluster coordinators fold together."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean() * 1000.0,
+            "p50_ms": self.percentile(50) * 1000.0,
+            "p95_ms": self.percentile(95) * 1000.0,
+            "p99_ms": self.percentile(99) * 1000.0,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(index): count for index, count in self._buckets.items()},
+        }

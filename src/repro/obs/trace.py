@@ -1,0 +1,442 @@
+"""Lightweight end-to-end query tracing (spans, trace IDs, slow-query log).
+
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.**  Instrumentation points in the hot
+   path (``QueryProcessor``'s candidate loop, ``InvertedHeap``'s
+   LAZYREHEAP) execute on *every* query, traced or not.  Each point is
+   one ``ContextVar`` read; with no active trace it returns ``None`` and
+   the call yields a shared no-op context manager — no allocation, no
+   clock read.
+2. **One tree per request, across every boundary.**  A trace ID is
+   minted at HTTP ingress, carried into the admission pool's worker
+   thread with :func:`attach`, shipped over the cluster IPC pipe as a
+   payload field, and the worker's span tree is grafted back under the
+   coordinator's dispatch span — so ``/v1/debug/traces`` shows HTTP →
+   engine → worker → oracle as one tree.
+3. **Aggregate the hot, span the cold.**  A span per exact distance
+   computation would dominate the trace; instead :func:`timed`
+   accumulates ``(count, total_seconds)`` per operation name on the
+   *enclosing* span, while structural stages (heap generation, the
+   search loop, cache lookup, lock wait, worker dispatch) get real child
+   spans.  ``repro explain`` prints both.
+
+Span taxonomy (see ``docs/observability.md`` for the full table):
+``http.<endpoint>`` → ``engine.execute`` / ``cluster.execute`` →
+``processor.heap_generation`` / ``processor.search`` with timers
+``oracle.distance``, ``lb.compute``, ``heap.lazy_reheap``,
+``processor.pseudo_lb``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from contextvars import ContextVar
+from typing import Callable, Iterator, Mapping
+
+
+def new_trace_id() -> str:
+    """A 16-hex-char trace identifier (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    ``timers`` holds aggregated hot-path operations as
+    ``{name: [count, total_seconds]}``; ``children`` are structural
+    sub-stages.  ``duration`` is filled when the span closes.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "attrs", "children", "timers",
+        "start", "duration", "worker",
+    )
+
+    def __init__(self, name: str, trace_id: str | None = None, attrs: dict | None = None) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.attrs = attrs or {}
+        self.children: list[Span] = []
+        self.timers: dict[str, list] = {}
+        self.start = time.perf_counter()
+        self.duration = 0.0
+        self.worker: str | None = None
+
+    # ------------------------------------------------------------------
+    # Mutation (only ever from the thread currently owning the span)
+    # ------------------------------------------------------------------
+    def annotate(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def add_time(self, name: str, seconds: float) -> None:
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = [1, seconds]
+        else:
+            timer[0] += 1
+            timer[1] += seconds
+
+    def graft(self, subtree: "Span") -> None:
+        """Attach a finished span tree (e.g. deserialised from a worker)."""
+        self.children.append(subtree)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "duration_ms": self.duration * 1000.0,
+        }
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        if self.worker:
+            payload["worker"] = self.worker
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.timers:
+            payload["timers"] = {
+                name: {"count": count, "total_ms": seconds * 1000.0}
+                for name, (count, seconds) in self.timers.items()
+            }
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Span":
+        span = cls(str(payload.get("name", "?")), payload.get("trace_id"))
+        span.start = 0.0
+        span.duration = float(payload.get("duration_ms", 0.0)) / 1000.0
+        span.worker = payload.get("worker")
+        span.attrs = dict(payload.get("attrs", {}))
+        for name, timer in (payload.get("timers") or {}).items():
+            span.timers[name] = [
+                int(timer.get("count", 0)),
+                float(timer.get("total_ms", 0.0)) / 1000.0,
+            ]
+        span.children = [cls.from_dict(child) for child in payload.get("children", ())]
+        return span
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+# ----------------------------------------------------------------------
+# The active-span context and the no-op fast path
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Span | None] = ContextVar("repro-active-span", default=None)
+
+
+class _Noop:
+    """Shared do-nothing stand-in for spans/timers when tracing is off."""
+
+    __slots__ = ()
+    trace_id = None
+    duration = 0.0
+
+    def __enter__(self) -> "_Noop":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def annotate(self, **_attrs) -> "_Noop":
+        return self
+
+    def add_time(self, _name: str, _seconds: float) -> None:
+        pass
+
+    def graft(self, _subtree) -> None:
+        pass
+
+
+NOOP = _Noop()
+
+
+class _SpanContext:
+    """Context manager creating a child span under ``parent``."""
+
+    __slots__ = ("_parent", "_span", "_token")
+
+    def __init__(self, parent: Span, name: str, attrs: dict | None) -> None:
+        self._parent = parent
+        self._span = Span(name, parent.trace_id, attrs)
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _ACTIVE.set(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *_exc) -> bool:
+        span = self._span
+        span.duration = time.perf_counter() - span.start
+        _ACTIVE.reset(self._token)
+        self._parent.children.append(span)
+        return False
+
+
+class _TimerContext:
+    """Context manager folding one timed call into ``span.timers``."""
+
+    __slots__ = ("_span", "_name", "_start")
+
+    def __init__(self, span: Span, name: str) -> None:
+        self._span = span
+        self._name = name
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self._span.add_time(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class _AttachContext:
+    """Re-establish ``span`` as active in another thread (or after IPC)."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _ACTIVE.set(self._span)
+        return self._span
+
+    def __exit__(self, *_exc) -> bool:
+        _ACTIVE.reset(self._token)
+        return False
+
+
+def current_span() -> Span | None:
+    """The span active on this thread, or None when not tracing."""
+    return _ACTIVE.get()
+
+
+def span(name: str, **attrs):
+    """Open a child span under the active span (no-op when not tracing)."""
+    parent = _ACTIVE.get()
+    if parent is None:
+        return NOOP
+    return _SpanContext(parent, name, attrs or None)
+
+
+def timed(name: str):
+    """Time one hot-path call into the active span's aggregate timers."""
+    parent = _ACTIVE.get()
+    if parent is None:
+        return NOOP
+    return _TimerContext(parent, name)
+
+
+def annotate(**attrs) -> None:
+    """Attach attributes to the active span (no-op when not tracing)."""
+    parent = _ACTIVE.get()
+    if parent is not None:
+        parent.attrs.update(attrs)
+
+
+def attach(span_obj):
+    """Continue an existing span on this thread; tolerates the no-op."""
+    if isinstance(span_obj, Span):
+        return _AttachContext(span_obj)
+    return NOOP
+
+
+# ----------------------------------------------------------------------
+# The tracer: root spans, ring buffer, slow-query log
+# ----------------------------------------------------------------------
+class _RootContext:
+    """Context manager for a root span owned by a :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
+        self._tracer = tracer
+        self._span = span_obj
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _ACTIVE.set(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *_exc) -> bool:
+        span_obj = self._span
+        span_obj.duration = time.perf_counter() - span_obj.start
+        _ACTIVE.reset(self._token)
+        self._tracer._finish(span_obj)
+        return False
+
+
+class Tracer:
+    """Trace lifecycle owner: enable/disable, buffers, sinks.
+
+    Parameters
+    ----------
+    enabled:
+        Whether :meth:`trace` opens real root spans (``force=True``
+        overrides per call, used by workers answering a traced request
+        and by ``repro explain``).
+    buffer_size:
+        Ring buffer capacity for ``/v1/debug/traces``.
+    slow_threshold:
+        Seconds; finished traces at least this slow are also kept in the
+        slow-query log (None disables the log).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        buffer_size: int = 64,
+        slow_threshold: float | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.slow_threshold = slow_threshold
+        self._lock = threading.Lock()
+        self._recent: deque[dict] = deque(maxlen=buffer_size)
+        self._slow: deque[dict] = deque(maxlen=max(8, buffer_size // 2))
+        self._sinks: list[Callable[[Span], None]] = []
+        self.traces_finished = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        enabled: bool | None = None,
+        buffer_size: int | None = None,
+        slow_threshold: float | None = ...,  # type: ignore[assignment]
+    ) -> "Tracer":
+        with self._lock:
+            if enabled is not None:
+                # An explicit enable/disable is a new tracing session:
+                # drop buffered traces from whoever configured us last so
+                # /v1/debug/traces never shows another server's spans.
+                self.enabled = enabled
+                self._recent.clear()
+                self._slow.clear()
+                self.traces_finished = 0
+            if buffer_size is not None:
+                self._recent = deque(self._recent, maxlen=buffer_size)
+                self._slow = deque(self._slow, maxlen=max(8, buffer_size // 2))
+            if slow_threshold is not ...:
+                self.slow_threshold = slow_threshold
+        return self
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Register a callback invoked with every finished root span."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Span], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def trace(self, name: str, trace_id: str | None = None, force: bool = False, **attrs):
+        """Open a root span, or the shared no-op when tracing is off."""
+        if not (self.enabled or force):
+            return NOOP
+        return _RootContext(self, Span(name, trace_id or new_trace_id(), attrs or None))
+
+    def _finish(self, root: Span) -> None:
+        payload = root.to_dict()
+        with self._lock:
+            self.traces_finished += 1
+            self._recent.append(payload)
+            if (
+                self.slow_threshold is not None
+                and root.duration >= self.slow_threshold
+            ):
+                self._slow.append(payload)
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(root)
+            except Exception:  # pragma: no cover - sinks must not break serving
+                pass
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def recent_traces(self) -> list[dict]:
+        """Most recent finished traces, oldest first (JSON-ready)."""
+        with self._lock:
+            return list(self._recent)
+
+    def slow_traces(self) -> list[dict]:
+        """Traces that crossed the slow threshold, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "slow_threshold_seconds": self.slow_threshold,
+                "traces_finished": self.traces_finished,
+                "buffered": len(self._recent),
+                "slow_buffered": len(self._slow),
+            }
+
+
+#: The process-wide default tracer.  The HTTP tier and ``repro explain``
+#: configure and read this instance; cluster workers inherit it via fork
+#: and answer per-request ``force`` traces even while globally disabled.
+TRACER = Tracer()
+
+
+# ----------------------------------------------------------------------
+# Pretty-printing (repro explain, slow-query log dumps)
+# ----------------------------------------------------------------------
+def format_trace(payload: Mapping, indent: str = "") -> str:
+    """Render a ``Span.to_dict`` tree as an aligned text tree.
+
+    Each line shows the stage name, its wall time, and its share of the
+    root; aggregated timers are listed beneath their span with call
+    counts — the §5.1 operations (exact distances, lower bounds) appear
+    here.
+    """
+    root_ms = float(payload.get("duration_ms", 0.0)) or 1e-12
+
+    def render(node: Mapping, depth: int) -> list[str]:
+        pad = indent + "  " * depth
+        duration_ms = float(node.get("duration_ms", 0.0))
+        share = 100.0 * duration_ms / root_ms
+        title = node.get("name", "?")
+        worker = node.get("worker")
+        if worker:
+            title = f"{title} [{worker}]"
+        lines = [f"{pad}{title:<40s} {duration_ms:9.3f} ms  {share:5.1f}%"]
+        for name, timer in (node.get("timers") or {}).items():
+            count = timer.get("count", 0)
+            total_ms = float(timer.get("total_ms", 0.0))
+            lines.append(
+                f"{pad}  · {name:<36s} {total_ms:9.3f} ms  "
+                f"({count} calls)"
+            )
+        for child in node.get("children", ()):
+            lines.extend(render(child, depth + 1))
+        return lines
+
+    header = []
+    trace_id = payload.get("trace_id")
+    if trace_id:
+        header.append(f"{indent}trace {trace_id}")
+    return "\n".join(header + render(payload, 0))

@@ -42,9 +42,13 @@ from repro.api import (
     UpdateOp,
     ensure_supported,
     merge_results,
+    merge_stat_dicts,
 )
 from repro.core.framework import KSpin
+from repro.obs.trace import TRACER, Span, attach, current_span
+from repro.obs.trace import span as trace_span
 from repro.serve.engine import Engine
+from repro.serve.metrics import merge_latency_payloads
 from repro.serve.ipc import WorkerDied, WorkerError, WorkerHandle, worker_main
 from repro.serve.placement import (
     KeywordShardRouter,
@@ -266,10 +270,11 @@ class ClusterCoordinator:
         ensure_supported(query, "cluster")
         if not self._started:
             self.start()
-        plan = self.router.plan(query, self._inflight())
-        if not plan.scatter:
-            return self._dispatch(plan.single_target, query)
-        return self._scatter(plan)
+        with trace_span("cluster.execute", kind=query.kind):
+            plan = self.router.plan(query, self._inflight())
+            if not plan.scatter:
+                return self._dispatch(plan.single_target, query)
+            return self._scatter(plan)
 
     def _inflight(self) -> list[int]:
         return [
@@ -279,15 +284,21 @@ class ClusterCoordinator:
 
     def _scatter(self, plan: RoutingPlan) -> QueryResult:
         assert self._pool is not None
+        # The scatter threads have their own (empty) contexts; hand them
+        # the caller's active span so worker sub-traces land in one tree.
+        parent = current_span()
         futures = [
-            self._pool.submit(self._dispatch, index, subquery)
+            self._pool.submit(self._dispatch, index, subquery, parent)
             for index, subquery in plan.assignments.items()
         ]
         parts = [future.result() for future in futures]
         k = max(subquery.k for subquery in plan.assignments.values())
-        return merge_results(parts, k)
+        with trace_span("cluster.merge", parts=len(parts)):
+            return merge_results(parts, k)
 
-    def _dispatch(self, target: int, query: Query) -> QueryResult:
+    def _dispatch(
+        self, target: int, query: Query, parent: Span | None = None
+    ) -> QueryResult:
         """Run ``query`` on ``target``, failing over on worker death.
 
         Any worker can answer any (sub-)query — every worker holds the
@@ -295,28 +306,43 @@ class ClusterCoordinator:
         if the whole fleet is down, the parent's in-process engine.
         A :class:`WorkerError` (the worker *answered*, with an error)
         is deterministic and propagates without retry.
+
+        When a trace is active (directly or via ``parent`` from a
+        scatter thread), the trace ID rides the query payload to the
+        worker and the worker's span tree is grafted back under the
+        dispatch span.
         """
-        attempts = [target] + [
-            i for i in range(self.num_workers) if i != target
-        ]
-        died = False
-        for attempt in attempts:
-            handle = self.workers[attempt]
-            if handle is None or not handle.is_alive():
-                continue
-            try:
-                body = handle.request("query", query.to_dict())
-                if died:
-                    self.retried_requests += 1
-                return QueryResult.from_dict(body)
-            except WorkerDied:
-                died = True
-                self.supervisor.kick()
-                continue
-        if died:
-            self.retried_requests += 1
-        self.fallback_queries += 1
-        return self._fallback.execute(query)
+        with attach(parent), trace_span("cluster.dispatch", target=target) as dspan:
+            attempts = [target] + [
+                i for i in range(self.num_workers) if i != target
+            ]
+            died = False
+            for attempt in attempts:
+                handle = self.workers[attempt]
+                if handle is None or not handle.is_alive():
+                    continue
+                try:
+                    payload = query.to_dict()
+                    if dspan.trace_id:
+                        payload["trace_id"] = dspan.trace_id
+                    body = handle.request("query", payload)
+                    if died:
+                        self.retried_requests += 1
+                    worker_trace = (
+                        body.get("trace") if isinstance(body, dict) else None
+                    )
+                    if worker_trace:
+                        dspan.graft(Span.from_dict(worker_trace))
+                    return QueryResult.from_dict(body)
+                except WorkerDied:
+                    died = True
+                    self.supervisor.kick()
+                    continue
+            if died:
+                self.retried_requests += 1
+            self.fallback_queries += 1
+            dspan.annotate(fallback=True)
+            return self._fallback.execute(query)
 
     # ------------------------------------------------------------------
     # Updates
@@ -399,12 +425,34 @@ class ClusterCoordinator:
             "fallback_queries": self.fallback_queries,
             "retried_requests": self.retried_requests,
             "updates_applied": self.updates_applied,
+            "worker_status": {
+                handle.name: {
+                    "alive": handle.is_alive(),
+                    "restarts": handle.restarts,
+                    "inflight": handle.inflight,
+                    "requests": handle.requests,
+                }
+                for handle in self.workers
+                if handle is not None
+            },
             "per_worker": per_worker,
         }
+        progress = getattr(self._kspin.index, "build_progress", None)
+        if progress is not None:
+            merged["nvd_build"] = progress.snapshot()
+        merged["tracing"] = TRACER.snapshot()
         return merged
 
     @staticmethod
     def _merge_metrics(snapshots: list[dict]) -> dict:
+        """Fold worker snapshots: counters add, histograms merge exactly.
+
+        Every latency block carries its raw bucket payload, and the
+        fixed bucket layout makes merging lossless — the reported
+        percentiles are exactly those of the pooled per-worker samples
+        (pinned by the cross-worker merge property test), not the old
+        count-weighted-mean / worst-worker-tail approximation.
+        """
         merged: dict = {
             "requests": {},
             "requests_total": 0,
@@ -412,7 +460,6 @@ class ClusterCoordinator:
             "shed": 0,
             "timeouts": 0,
             "queries_served": 0,
-            "query_stats": {},
             "cache": {
                 "capacity": 0,
                 "entries": 0,
@@ -421,7 +468,10 @@ class ClusterCoordinator:
                 "invalidations": 0,
             },
         }
-        latencies: list[dict] = []
+        histogram_keys = ("latency", "error_latency", "query_latency")
+        pooled: dict[str, list[dict]] = {key: [] for key in histogram_keys}
+        endpoints: dict[str, list[dict]] = {}
+        stages: dict[str, list[dict]] = {}
         for snap in snapshots:
             for endpoint, count in snap.get("requests", {}).items():
                 merged["requests"][endpoint] = (
@@ -435,37 +485,31 @@ class ClusterCoordinator:
             merged["shed"] += snap.get("shed", 0)
             merged["timeouts"] += snap.get("timeouts", 0)
             merged["queries_served"] += snap.get("queries_served", 0)
-            for name, value in snap.get("query_stats", {}).items():
-                merged["query_stats"][name] = (
-                    merged["query_stats"].get(name, 0) + value
-                )
             for name in ("capacity", "entries", "hits", "misses", "invalidations"):
                 merged["cache"][name] += snap.get("cache", {}).get(name, 0)
-            if "latency" in snap:
-                latencies.append(snap["latency"])
+            for key in histogram_keys:
+                block = snap.get(key)
+                if isinstance(block, dict) and "buckets" in block:
+                    pooled[key].append(block)
+            for endpoint, block in (snap.get("endpoints") or {}).items():
+                endpoints.setdefault(endpoint, []).append(block)
+            for stage, block in (snap.get("stages") or {}).items():
+                stages.setdefault(stage, []).append(block)
+        merged["query_stats"] = merge_stat_dicts(
+            snap.get("query_stats", {}) for snap in snapshots
+        )
         lookups = merged["cache"]["hits"] + merged["cache"]["misses"]
         merged["cache"]["hit_rate"] = (
             merged["cache"]["hits"] / lookups if lookups else 0.0
         )
-        if latencies:
-            total = sum(l.get("count", 0) for l in latencies)
-            merged["latency"] = {
-                "count": total,
-                # Per-worker reservoirs cannot be re-ranked exactly;
-                # report the count-weighted mean and worst-case tails.
-                "mean_ms": (
-                    sum(l.get("mean_ms", 0.0) * l.get("count", 0) for l in latencies)
-                    / total
-                    if total
-                    else 0.0
-                ),
-                "p50_ms": max(l.get("p50_ms", 0.0) for l in latencies),
-                "p95_ms": max(l.get("p95_ms", 0.0) for l in latencies),
-                "p99_ms": max(l.get("p99_ms", 0.0) for l in latencies),
-            }
-        else:
-            merged["latency"] = {
-                "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
-                "p95_ms": 0.0, "p99_ms": 0.0,
-            }
+        for key in histogram_keys:
+            merged[key] = merge_latency_payloads(pooled[key])
+        merged["endpoints"] = {
+            endpoint: merge_latency_payloads(blocks)
+            for endpoint, blocks in sorted(endpoints.items())
+        }
+        merged["stages"] = {
+            stage: merge_latency_payloads(blocks)
+            for stage, blocks in sorted(stages.items())
+        }
         return merged

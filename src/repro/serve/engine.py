@@ -35,6 +35,7 @@ read-only after construction.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Sequence
 
 from repro.api import (
@@ -48,6 +49,8 @@ from repro.api import (
 )
 from repro.core.framework import KSpin
 from repro.core.query_processor import QueryProcessor, QueryStats
+from repro.obs.trace import annotate as trace_annotate
+from repro.obs.trace import span as trace_span
 from repro.serve.cache import ResultCache, result_key
 from repro.serve.locks import ReadWriteLock
 from repro.serve.metrics import ServerMetrics
@@ -165,29 +168,40 @@ class Engine:
         key = result_key(
             query.vertex, query.keywords, query.k, query.kind, query.mode
         )
-        cached = self.cache.get(key)
+        with trace_span("engine.cache_lookup"):
+            cached = self.cache.get(key)
         if cached is not None:
+            trace_annotate(cache="hit")
             self.metrics.record_query_stats(QueryStats(), cached=True)
             return list(cached), True, QueryStats()
+        trace_annotate(cache="miss")
         processor = self._processor()
-        with self.lock.read():
-            if query.kind == "bknn":
-                results = processor.bknn(
-                    query.vertex,
-                    query.k,
-                    list(query.keywords),
-                    conjunctive=query.conjunctive,
-                )
-            else:
-                results = processor.top_k(
-                    query.vertex, query.k, list(query.keywords)
-                )
-            stats = processor.last_stats
+        start = time.perf_counter()
+        with trace_span("engine.lock_wait"):
+            self.lock.acquire_read()
+        try:
+            with trace_span("engine.execute", kind=query.kind):
+                if query.kind == "bknn":
+                    results = processor.bknn(
+                        query.vertex,
+                        query.k,
+                        list(query.keywords),
+                        conjunctive=query.conjunctive,
+                    )
+                else:
+                    results = processor.top_k(
+                        query.vertex, query.k, list(query.keywords)
+                    )
+                stats = processor.last_stats
             # Stored before the read lock drops: a concurrent update's
             # invalidation (under the write lock) can then never miss
             # this entry and leave a stale result behind.
             self.cache.put(key, results)
-        self.metrics.record_query_stats(stats)
+        finally:
+            self.lock.release_read()
+        self.metrics.record_query_stats(
+            stats, seconds=time.perf_counter() - start
+        )
         return list(results), False, stats
 
     # ------------------------------------------------------------------
@@ -288,4 +302,10 @@ class Engine:
         """
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.snapshot()
+        progress = getattr(self._kspin.index, "build_progress", None)
+        if progress is not None:
+            snapshot["nvd_build"] = progress.snapshot()
+        from repro.obs.trace import TRACER
+
+        snapshot["tracing"] = TRACER.snapshot()
         return snapshot

@@ -55,6 +55,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.api import Query, UnsupportedQueryError, UpdateOp
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import TRACER, attach
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
 from repro.serve.ipc import WorkerError
 from repro.serve.metrics import ServerMetrics
@@ -66,6 +69,9 @@ class BadRequest(ValueError):
 
 #: Endpoint names the router recognises (without the /v1 prefix).
 _ENDPOINTS = ("/query", "/bknn", "/topk", "/update", "/healthz", "/metrics")
+
+#: Query endpoints that get a root trace span at ingress.
+_TRACED = ("/query", "/bknn", "/topk")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -94,6 +100,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_ok(self, result, deprecated: bool = False) -> None:
         self._send_json(200, {"ok": True, "result": result}, deprecated=deprecated)
+
+    def _send_text(self, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _send_error(
         self,
@@ -142,33 +156,49 @@ class _Handler(BaseHTTPRequestHandler):
             deprecated = endpoint in _ENDPOINTS
         start = time.perf_counter()
         metrics = self.server.metrics
+        # Handlers *return* the response payload; metrics are recorded
+        # before any bytes go out, so a client that has received the
+        # response immediately observes the request in /metrics.
+        text: str | None = None
         try:
             if endpoint == "/healthz":
-                self._send_ok(self.server.backend.health(), deprecated=deprecated)
+                reply = self.server.backend.health()
             elif endpoint == "/metrics":
-                self._send_ok(self.server.metrics_snapshot(), deprecated=deprecated)
+                reply, text = self._handle_metrics()
+            elif endpoint == "/debug/traces":
+                reply = {
+                    "tracing": TRACER.snapshot(),
+                    "recent": TRACER.recent_traces(),
+                    "slow": TRACER.slow_traces(),
+                }
             elif endpoint in ("/query", "/bknn", "/topk"):
-                self._handle_query(endpoint, deprecated)
+                reply = self._handle_query(endpoint)
             elif endpoint == "/update":
-                self._handle_update(deprecated)
+                reply = self._handle_update()
             else:
+                metrics.record_request(
+                    endpoint, time.perf_counter() - start, error=True
+                )
                 self._send_error(
                     404, "not_found", f"unknown endpoint {path}"
                 )
-                metrics.record_request(endpoint, 0.0, error=True)
                 return
         except (BadRequest, UnsupportedQueryError) as error:
+            metrics.record_request(
+                endpoint, time.perf_counter() - start, error=True
+            )
             self._send_error(400, "bad_request", str(error), deprecated=deprecated)
-            metrics.record_request(endpoint, 0.0, error=True)
             return
         except WorkerError as error:
             # A cluster worker answered with a classified error: keep
             # its code, map bad_request to 400 and anything else to 500.
             status = 400 if error.code == "bad_request" else 500
+            metrics.record_request(
+                endpoint, time.perf_counter() - start, error=True
+            )
             self._send_error(
                 status, error.code, str(error), deprecated=deprecated
             )
-            metrics.record_request(endpoint, 0.0, error=True)
             return
         except ServerSaturated as error:
             metrics.record_shed()
@@ -182,21 +212,41 @@ class _Handler(BaseHTTPRequestHandler):
                 504, "deadline_exceeded", str(error), deprecated=deprecated
             )
             return
-        except BrokenPipeError:  # client went away mid-response
+        except BrokenPipeError:  # client went away mid-request
             return
         except Exception as error:  # pragma: no cover - defensive
+            metrics.record_request(
+                endpoint, time.perf_counter() - start, error=True
+            )
             self._send_error(
                 500, "internal", f"{type(error).__name__}: {error}",
                 deprecated=deprecated,
             )
-            metrics.record_request(endpoint, 0.0, error=True)
             return
         metrics.record_request(endpoint, time.perf_counter() - start)
+        try:
+            if text is not None:
+                self._send_text(text, PROMETHEUS_CONTENT_TYPE)
+            else:
+                self._send_ok(reply, deprecated=deprecated)
+        except BrokenPipeError:  # client went away mid-response
+            return
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def _handle_query(self, endpoint: str, deprecated: bool) -> None:
+    def _handle_metrics(self) -> tuple[dict | None, str | None]:
+        """Return ``(json_payload, None)`` or ``(None, prometheus_text)``."""
+        params = parse_qs(urlparse(self.path).query)
+        fmt = (params.get("format") or ["json"])[-1]
+        snapshot = self.server.metrics_snapshot()
+        if fmt == "prometheus":
+            return None, render_prometheus(snapshot)
+        if fmt == "json":
+            return snapshot, None
+        raise BadRequest(f"unknown metrics format {fmt!r}")
+
+    def _handle_query(self, endpoint: str) -> dict:
         params = self._params()
         if endpoint == "/bknn":
             params["kind"] = "bknn"
@@ -210,17 +260,35 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as error:
             raise BadRequest(str(error)) from None
         backend = self.server.backend
-        try:
-            answer = self.server.pool.run(
-                lambda: backend.execute(query), deadline=self.server.deadline
-            )
-        except UnsupportedQueryError:
-            raise
-        except ValueError as error:  # bad k / keywords from the core
-            raise BadRequest(str(error)) from None
-        self._send_ok(answer.to_dict(), deprecated=deprecated)
+        # Trace root: minted here at ingress, carried into the admission
+        # pool's worker thread via attach(), and (for cluster backends)
+        # over the IPC pipe — so the whole request is one span tree.
+        with TRACER.trace(
+            "http." + endpoint.lstrip("/"),
+            kind=query.kind,
+            k=query.k,
+            keywords=len(query.keywords),
+        ) as root:
+            submitted = time.perf_counter()
 
-    def _handle_update(self, deprecated: bool) -> None:
+            def call():
+                waited = time.perf_counter() - submitted
+                with attach(root):
+                    root.add_time("admission.wait", waited)
+                    return backend.execute(query)
+
+            try:
+                answer = self.server.pool.run(
+                    call, deadline=self.server.deadline
+                )
+            except UnsupportedQueryError:
+                raise
+            except ValueError as error:  # bad k / keywords from the core
+                raise BadRequest(str(error)) from None
+            root.annotate(cached=answer.cached)
+        return answer.to_dict()
+
+    def _handle_update(self) -> dict:
         if self.command != "POST":
             raise BadRequest("/update requires POST")
         params = self._params()
@@ -229,10 +297,9 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError) as error:
             raise BadRequest(f"bad update request: {error}") from None
         try:
-            summary = self.server.backend.apply(op)
+            return self.server.backend.apply(op)
         except (KeyError, TypeError, ValueError) as error:
             raise BadRequest(f"bad update request: {error}") from None
-        self._send_ok(summary, deprecated=deprecated)
 
 
 class QueryServer(ThreadingHTTPServer):
@@ -255,6 +322,15 @@ class QueryServer(ThreadingHTTPServer):
         Admitted requests allowed to wait; excess is shed with 503.
     deadline:
         Per-request deadline in seconds (504 when missed).
+    trace:
+        Enable end-to-end tracing (root spans at ingress, span buffers
+        at ``/v1/debug/traces``).  Off by default: untraced requests pay
+        only one ContextVar read per instrumentation point.
+    trace_buffer:
+        Ring-buffer capacity for recent traces.
+    slow_query_threshold:
+        Seconds; traced requests at least this slow also land in the
+        slow-query log (None disables the log).
     """
 
     daemon_threads = True
@@ -268,6 +344,9 @@ class QueryServer(ThreadingHTTPServer):
         max_queue: int = 64,
         deadline: float | None = 30.0,
         verbose: bool = False,
+        trace: bool = False,
+        trace_buffer: int = 64,
+        slow_query_threshold: float | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.backend = backend
@@ -278,6 +357,16 @@ class QueryServer(ThreadingHTTPServer):
         self.deadline = deadline
         self.verbose = verbose
         self._thread: threading.Thread | None = None
+        TRACER.configure(
+            enabled=trace,
+            buffer_size=trace_buffer,
+            slow_threshold=slow_query_threshold,
+        )
+        # Every finished trace feeds the per-stage latency histograms,
+        # so /metrics answers "where do queries spend time?" whenever
+        # tracing is on.
+        self._trace_sink = self.metrics.record_trace
+        TRACER.add_sink(self._trace_sink)
 
     @property
     def engine(self):
@@ -302,11 +391,21 @@ class QueryServer(ThreadingHTTPServer):
         """
         snapshot = self.backend.metrics_snapshot()
         http = self.metrics.snapshot()
-        for key in ("requests", "requests_total", "errors", "shed", "timeouts", "latency"):
+        for key in (
+            "requests", "requests_total", "errors", "shed", "timeouts",
+            "latency", "error_latency", "endpoints",
+        ):
             snapshot[key] = http[key]
+        # Per-stage histograms live where the trace sink runs (this
+        # tier); backend stage blocks (if any) are kept unless the HTTP
+        # tier saw the same stage.
+        stages = dict(snapshot.get("stages") or {})
+        stages.update(http["stages"])
+        snapshot["stages"] = stages
         snapshot["queue_depth"] = self.pool.queue_depth
         snapshot["workers"] = self.pool.workers
         snapshot["max_queue"] = self.pool.max_queue
+        snapshot["tracing"] = TRACER.snapshot()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -320,6 +419,7 @@ class QueryServer(ThreadingHTTPServer):
 
     def close(self) -> None:
         """Stop serving and release the pool and socket."""
+        TRACER.remove_sink(self._trace_sink)
         self.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10)

@@ -31,6 +31,7 @@ from multiprocessing.connection import Connection
 from typing import Sequence
 
 from repro.api import Query, QueryResult, UnsupportedQueryError, UpdateOp
+from repro.obs.trace import TRACER
 
 
 class WorkerDied(RuntimeError):
@@ -177,13 +178,30 @@ def worker_main(
             break
         try:
             if kind == "query":
-                result = engine.execute(Query.from_dict(payload))
+                # A traced request carries its trace ID alongside the
+                # query fields; the worker answers with its own span
+                # tree so the coordinator can graft HTTP -> dispatch ->
+                # worker -> oracle into one tree.
+                trace_id = None
+                if isinstance(payload, dict):
+                    trace_id = payload.pop("trace_id", None)
+                if trace_id:
+                    with TRACER.trace(
+                        "worker.query", trace_id=trace_id, force=True
+                    ) as root:
+                        root.worker = name
+                        result = engine.execute(Query.from_dict(payload))
+                else:
+                    root = None
+                    result = engine.execute(Query.from_dict(payload))
                 body = QueryResult(
                     hits=result.hits,
                     stats=result.stats,
                     cached=result.cached,
                     worker=name,
                 ).to_dict()
+                if root is not None:
+                    body["trace"] = root.to_dict()
                 reply = ("ok", body)
             elif kind == "update":
                 reply = ("ok", engine.apply(UpdateOp.from_dict(payload)))

@@ -1,61 +1,61 @@
-"""Serving metrics: request counters, latency percentiles, cost totals.
+"""Serving metrics: request counters, mergeable latency histograms, cost totals.
 
 The paper reports throughput (Table 1) and per-query operation counts
 (§5.1); a long-running server additionally needs tail latency and
 saturation signals.  :class:`ServerMetrics` aggregates, thread-safely:
 
 * per-endpoint request/error/shed counters,
-* latency percentiles (p50/p95/p99) over a bounded reservoir,
+* latency **histograms** (:class:`~repro.obs.histogram.LogHistogram`)
+  for successful requests, errored requests (error-path slowness is a
+  real signal, not noise to discard), per endpoint, per traced stage,
+  and for engine-side query execution — all with fixed log buckets, so
+  per-worker histograms merge losslessly and cluster percentiles are the
+  percentiles of the pooled samples,
 * aggregated :class:`~repro.core.query_processor.QueryStats` counters —
   the §5.1 cost model summed over every served query.
+
+The pre-observability sampling reservoir is gone: reservoir percentiles
+cannot be combined across processes, which made the cluster's tail
+numbers unreliable exactly where they mattered.
 """
 
 from __future__ import annotations
 
-import math
-import random
 import threading
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.query_processor import QueryStats
+from repro.obs.histogram import LogHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span
 
 
-class LatencyRecorder:
-    """Bounded reservoir of latency samples with percentile queries.
+class LatencyRecorder(LogHistogram):
+    """A latency histogram in seconds (kept under the historical name).
 
-    Keeps an exact window until ``capacity`` samples, then switches to
-    uniform reservoir sampling so long runs stay O(capacity) memory
-    while percentiles remain unbiased.
+    Formerly a bounded sampling reservoir; now a fixed log-bucketed
+    histogram so recorders merge exactly across threads, processes, and
+    cluster workers.  Memory is constant (sparse buckets over a fixed
+    layout) and ``count``/``total``/min/max are exact.
     """
 
-    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be positive")
-        self._capacity = capacity
-        self._samples: list[float] = []
-        self._rng = random.Random(seed)
-        self.count = 0
-        self.total_seconds = 0.0
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded latencies (legacy accessor)."""
+        return self.total
 
-    def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total_seconds += seconds
-        if len(self._samples) < self._capacity:
-            self._samples.append(seconds)
-            return
-        slot = self._rng.randrange(self.count)
-        if slot < self._capacity:
-            self._samples[slot] = seconds
 
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) of recorded latencies; 0 if none."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
+def merge_latency_payloads(payloads: Iterable[Mapping]) -> dict:
+    """Merge worker latency payloads into one ``summary_ms`` block.
 
-    def mean(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
+    Each payload is a :meth:`LogHistogram.summary_ms` dict (the shape
+    every ``/metrics`` latency section uses); the result's percentiles
+    are exactly those of the pooled samples.
+    """
+    return LogHistogram.merged(
+        LogHistogram.from_dict(payload) for payload in payloads
+    ).summary_ms()
 
 
 class ServerMetrics:
@@ -64,6 +64,10 @@ class ServerMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._latency = LatencyRecorder()
+        self._error_latency = LatencyRecorder()
+        self._query_latency = LatencyRecorder()
+        self._endpoint_latency: dict[str, LatencyRecorder] = {}
+        self._stage_latency: dict[str, LatencyRecorder] = {}
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self.shed = 0
@@ -75,13 +79,24 @@ class ServerMetrics:
     # Recording
     # ------------------------------------------------------------------
     def record_request(self, endpoint: str, seconds: float, error: bool = False) -> None:
-        """One completed request (successful or errored, not shed)."""
+        """One completed request (successful or errored, not shed).
+
+        Errored requests keep their latency too — in a dedicated
+        histogram, so a slow error path (worker retry walks, deadline
+        near-misses, failing backends) is visible instead of silently
+        discarded, without polluting the success percentiles.
+        """
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
             if error:
                 self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
-            else:
-                self._latency.record(seconds)
+                self._error_latency.record(seconds)
+                return
+            self._latency.record(seconds)
+            recorder = self._endpoint_latency.get(endpoint)
+            if recorder is None:
+                recorder = self._endpoint_latency[endpoint] = LatencyRecorder()
+            recorder.record(seconds)
 
     def record_shed(self) -> None:
         """One request rejected by admission control (503)."""
@@ -93,30 +108,64 @@ class ServerMetrics:
         with self._lock:
             self.timeouts += 1
 
-    def record_query_stats(self, stats: QueryStats, cached: bool = False) -> None:
+    def record_query_stats(
+        self,
+        stats: QueryStats,
+        cached: bool = False,
+        seconds: float | None = None,
+    ) -> None:
         """Fold one query's §5.1 cost counters into the running totals.
 
         Cache hits pass ``cached=True`` and contribute no new work — the
         totals then measure what the backend actually executed.
+        ``seconds`` (when the engine timed the execution) feeds the
+        engine-side query-latency histogram, the per-worker series the
+        cluster merges for its fleet percentiles.
         """
         with self._lock:
             self.queries_served += 1
-            if cached:
-                return
-            totals = self._stats_totals
-            totals.iterations += stats.iterations
-            totals.distance_computations += stats.distance_computations
-            totals.lower_bound_computations += stats.lower_bound_computations
-            totals.heap_insertions += stats.heap_insertions
-            totals.heaps_created += stats.heaps_created
+            if seconds is not None:
+                self._query_latency.record(seconds)
+            if not cached:
+                self._stats_totals.merge(stats)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One per-query total for a traced stage (span or timer name)."""
+        with self._lock:
+            recorder = self._stage_latency.get(stage)
+            if recorder is None:
+                recorder = self._stage_latency[stage] = LatencyRecorder()
+            recorder.record(seconds)
+
+    def record_trace(self, root: "Span") -> None:
+        """Tracer sink: fold one finished trace into per-stage histograms.
+
+        Records, per trace, the total time under each distinct span name
+        (the structural stages) and each aggregate timer (the hot §5.1
+        operations: exact distances, lower bounds, LAZYREHEAP walks) —
+        so ``stages`` answers "where does a typical query spend time?"
+        with a real distribution per stage, mergeable across workers.
+        """
+        totals: dict[str, float] = {}
+        for node in root.walk():
+            if node is not root:
+                totals[node.name] = totals.get(node.name, 0.0) + node.duration
+            for name, (_count, seconds) in node.timers.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        for stage, seconds in totals.items():
+            self.record_stage(stage, seconds)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """A JSON-ready view of every counter (the ``/metrics`` body)."""
+        """A JSON-ready view of every counter (the ``/metrics`` body).
+
+        Latency blocks carry the classic ``count``/``mean_ms``/``p50_ms``
+        /``p95_ms``/``p99_ms`` keys plus the raw bucket payload, which is
+        what cluster coordinators merge for exact fleet percentiles.
+        """
         with self._lock:
-            totals = self._stats_totals
             return {
                 "requests": dict(self._requests),
                 "requests_total": sum(self._requests.values()),
@@ -124,18 +173,16 @@ class ServerMetrics:
                 "shed": self.shed,
                 "timeouts": self.timeouts,
                 "queries_served": self.queries_served,
-                "latency": {
-                    "count": self._latency.count,
-                    "mean_ms": self._latency.mean() * 1000.0,
-                    "p50_ms": self._latency.percentile(50) * 1000.0,
-                    "p95_ms": self._latency.percentile(95) * 1000.0,
-                    "p99_ms": self._latency.percentile(99) * 1000.0,
+                "latency": self._latency.summary_ms(),
+                "error_latency": self._error_latency.summary_ms(),
+                "query_latency": self._query_latency.summary_ms(),
+                "endpoints": {
+                    endpoint: recorder.summary_ms()
+                    for endpoint, recorder in self._endpoint_latency.items()
                 },
-                "query_stats": {
-                    "iterations": totals.iterations,
-                    "distance_computations": totals.distance_computations,
-                    "lower_bound_computations": totals.lower_bound_computations,
-                    "heap_insertions": totals.heap_insertions,
-                    "heaps_created": totals.heaps_created,
+                "stages": {
+                    stage: recorder.summary_ms()
+                    for stage, recorder in self._stage_latency.items()
                 },
+                "query_stats": self._stats_totals.to_dict(),
             }

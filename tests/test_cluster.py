@@ -421,3 +421,62 @@ class TestRouters:
         for shard, sub in plan.assignments.items():
             assert all(shard_of(kw, 2) == shard for kw in sub.keywords)
             assert sub.k == query.k and sub.kind == query.kind
+
+
+# ----------------------------------------------------------------------
+# Observability across the cluster
+# ----------------------------------------------------------------------
+class TestClusterObservability:
+    def test_merged_latency_is_pooled_worker_histograms(self, kspin, keywords):
+        """Cluster /metrics percentiles == percentiles over pooled samples."""
+        from repro.obs.histogram import LogHistogram
+
+        with ClusterCoordinator(
+            kspin, num_workers=2, cache_size=0, supervise=False
+        ) as coordinator:
+            for vertex in range(12):
+                coordinator.execute(
+                    Query(vertex=vertex, keywords=(keywords[0],), k=2)
+                )
+            snapshot = coordinator.metrics_snapshot()
+            per_worker = snapshot["cluster"]["per_worker"]
+            pooled = LogHistogram.merged(
+                LogHistogram.from_dict(snap["query_latency"])
+                for snap in per_worker.values()
+            )
+            merged = snapshot["query_latency"]
+            assert merged["count"] == pooled.count > 0
+            assert merged["p50_ms"] == pooled.percentile(50) * 1000.0
+            assert merged["p95_ms"] == pooled.percentile(95) * 1000.0
+            assert merged["p99_ms"] == pooled.percentile(99) * 1000.0
+            # The paper-5.1 totals fold across workers through QueryStats.
+            assert snapshot["query_stats"]["iterations"] > 0
+            status = snapshot["cluster"]["worker_status"]
+            assert set(status) == {"worker-0", "worker-1"}
+            assert all(entry["alive"] for entry in status.values())
+
+    def test_trace_spans_cross_the_ipc_boundary(self, kspin, keywords):
+        """A traced query returns one tree: dispatch -> worker -> engine."""
+        from repro.obs.trace import TRACER
+
+        with ClusterCoordinator(
+            kspin, num_workers=2, cache_size=0, supervise=False
+        ) as coordinator:
+            TRACER.configure(enabled=True)
+            try:
+                with TRACER.trace("http.bknn") as root:
+                    coordinator.execute(
+                        Query(vertex=3, keywords=(keywords[0],), k=2)
+                    )
+            finally:
+                TRACER.configure(enabled=False)
+            names = {node.name for node in root.walk()}
+            assert "cluster.execute" in names
+            assert "cluster.dispatch" in names
+            assert "worker.query" in names  # grafted from the worker process
+            assert "engine.execute" in names  # inside the worker's tree
+            worker_root = next(
+                node for node in root.walk() if node.name == "worker.query"
+            )
+            assert worker_root.worker in ("worker-0", "worker-1")
+            assert worker_root.trace_id == root.trace_id

@@ -279,16 +279,20 @@ class TestReadWriteLock:
 # ----------------------------------------------------------------------
 class TestLatencyRecorder:
     def test_percentiles_over_exact_window(self):
-        recorder = LatencyRecorder(capacity=100)
+        recorder = LatencyRecorder()
         for ms in range(1, 101):
             recorder.record(ms / 1000.0)
-        assert recorder.percentile(50) == pytest.approx(0.050)
-        assert recorder.percentile(99) == pytest.approx(0.099)
+        # Histogram quantisation: midpoints are within 1/32 of the value.
+        assert recorder.percentile(50) == pytest.approx(0.050, rel=1 / 32)
+        assert recorder.percentile(99) == pytest.approx(0.099, rel=1 / 32)
         assert recorder.mean() == pytest.approx(0.0505)
 
-    def test_reservoir_stays_bounded(self):
-        recorder = LatencyRecorder(capacity=16)
+    def test_histogram_stays_bounded(self):
+        recorder = LatencyRecorder()
         for _ in range(1000):
             recorder.record(0.001)
         assert recorder.count == 1000
+        # Identical samples collapse to one bucket; min/max clamping
+        # makes the percentile exact.
         assert recorder.percentile(95) == pytest.approx(0.001)
+        assert len(recorder.summary_ms()["buckets"]) == 1

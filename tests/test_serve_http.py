@@ -193,6 +193,83 @@ class TestOperationalEndpoints:
         assert excinfo.value.code == 400
 
 
+class TestObservabilityEndpoints:
+    @pytest.fixture()
+    def traced_server(self, kspin):
+        engine = Engine(kspin, cache_size=256)
+        with QueryServer(
+            engine, port=0, workers=4, trace=True, slow_query_threshold=0.0
+        ).start_background() as running:
+            yield running
+
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.headers, response.read().decode()
+
+    def test_prometheus_exposition_parses(self, traced_server):
+        from tests.test_observability import parse_exposition
+
+        client = ServeClient(traced_server.url)
+        client.bknn(0, 2, ["kw0000"])
+        client.bknn(0, 2, ["kw0000"])
+        headers, text = self._get(
+            f"{traced_server.url}/v1/metrics?format=prometheus"
+        )
+        assert headers["Content-Type"].startswith("text/plain")
+        samples, typed = parse_exposition(text)
+        assert "repro_requests_total" in samples
+        assert typed["repro_request_latency_seconds"] == "histogram"
+        total = sum(
+            int(value) for _, value in samples["repro_requests_total"]
+        )
+        assert total >= 2
+        assert "repro_cache_hits_total" in samples
+        assert "repro_tracing_enabled" in samples
+
+    def test_unknown_metrics_format_is_400(self, traced_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{traced_server.url}/v1/metrics?format=xml"
+            )
+        assert excinfo.value.code == 400
+
+    def test_debug_traces_shows_span_trees(self, traced_server):
+        client = ServeClient(traced_server.url)
+        client.bknn(0, 2, ["kw0001"])
+        _, raw = self._get(f"{traced_server.url}/v1/debug/traces")
+        body = json.loads(raw)["result"]
+        assert body["tracing"]["enabled"] is True
+        assert body["tracing"]["traces_finished"] >= 1
+        names = [trace["name"] for trace in body["recent"]]
+        assert "http.bknn" in names
+        trace = next(t for t in body["recent"] if t["name"] == "http.bknn")
+        assert trace["trace_id"]
+        child_names = {child["name"] for child in trace.get("children", ())}
+        assert "engine.execute" in child_names
+        # With threshold 0 every trace also lands in the slow log.
+        assert len(body["slow"]) >= 1
+
+    def test_stage_histograms_populated_when_tracing(self, traced_server):
+        client = ServeClient(traced_server.url)
+        client.bknn(7, 2, ["kw0002"])
+        metrics = client.metrics()
+        stages = metrics["stages"]
+        assert stages, "tracing should feed per-stage histograms"
+        assert any(
+            stage.startswith(("engine.", "processor.")) for stage in stages
+        )
+        assert metrics["error_latency"]["count"] == 0
+        assert metrics["tracing"]["enabled"] is True
+
+    def test_error_latency_not_zero_duration(self, traced_server):
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{traced_server.url}/v1/bknn?vertex=0")
+        snapshot = traced_server.metrics_snapshot()
+        assert snapshot["error_latency"]["count"] == 1
+        # The errored request's real elapsed time is recorded, not 0.0.
+        assert snapshot["error_latency"]["total"] > 0.0
+
+
 class TestOverload:
     def test_saturated_queue_sheds_with_503(self, kspin):
         """With the one worker blocked and no queue, requests get 503."""
