@@ -1,0 +1,49 @@
+"""``repro.analysis`` — the project's static-analysis subsystem.
+
+Three layers, all dependency-free at runtime (``ast`` + ``threading``):
+
+* a **project-invariant linter** (:mod:`~repro.analysis.rules`,
+  :mod:`~repro.analysis.linter`): KSP001–KSP006 encode the invariants
+  the serving stack's correctness arguments rest on — frozen API
+  values stay frozen, shared state is written under its declared lock,
+  nothing blocks while holding a lock, fingerprint-reproducible code
+  paths stay deterministic, the supervision/IPC tier never swallows
+  exceptions, and nothing unpicklable crosses the IPC boundary.
+  Exposed as ``repro lint``.
+* a **strict typing gate** (:mod:`~repro.analysis.typecheck`): a thin
+  wrapper over ``mypy --strict`` (pinned dev dependency, configured in
+  ``pyproject.toml``).  Exposed as ``repro typecheck``.
+* a **runtime lock-order/race detector**
+  (:mod:`~repro.analysis.lockdebug`): opt-in via
+  ``REPRO_LOCK_DEBUG=1``; builds a global lock-order graph from
+  per-thread acquisition stacks, reports ordering cycles (potential
+  deadlocks) with both acquisition sites, and write-guards the shared
+  attributes declared in :mod:`~repro.analysis.config`.
+
+See ``docs/static-analysis.md`` for the rule catalogue and workflows.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import (
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    module_key,
+    select_rules,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+from repro.analysis.typecheck import mypy_available, run_typecheck
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "RULES_BY_CODE",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_key",
+    "mypy_available",
+    "run_typecheck",
+    "select_rules",
+]

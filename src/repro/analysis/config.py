@@ -1,0 +1,203 @@
+"""Project-invariant registry shared by the linter and the lock debugger.
+
+The K-SPIN serving stack states its concurrency and reproducibility
+invariants as *data*: which attributes are shared mutable state and
+which lock guards them, which modules must stay deterministic so
+``structural_fingerprint`` comparisons mean anything, which tier must
+never swallow exceptions.  Both enforcement layers read this one
+registry:
+
+* the **static** layer (:mod:`repro.analysis.rules`) checks, file by
+  file, that every write to a guarded attribute happens lexically under
+  its lock;
+* the **runtime** layer (:mod:`repro.analysis.lockdebug`) installs
+  write-guard descriptors over the same attributes in
+  ``REPRO_LOCK_DEBUG=1`` mode and reports writes observed while the
+  declared lock is not held by the writing thread.
+
+Keys are *module keys*: the path of a source file relative to the
+``repro`` package (``"serve/cluster.py"``).  A file outside the package
+(e.g. a lint-rule fixture) can opt into a scope with a
+``# ksp: scope=serve/cluster.py`` marker in its first lines.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# KSP002 — shared mutable state and the lock that guards it
+# ----------------------------------------------------------------------
+#: module key -> class name -> attribute names whose writes require the
+#: class's lock to be held (lexically: a ``with <lock>`` block or a
+#: ``# ksp: holds[...]`` contract on the enclosing function).
+GUARDED_ATTRIBUTES: dict[str, dict[str, frozenset[str]]] = {
+    "serve/engine.py": {
+        "Engine": frozenset({"updates_applied"}),
+    },
+    "serve/cache.py": {
+        "ResultCache": frozenset({
+            "hits",
+            "misses",
+            "invalidations",
+            "_entries",
+            "_by_keyword",
+        }),
+    },
+    "serve/metrics.py": {
+        "ServerMetrics": frozenset({
+            "shed",
+            "timeouts",
+            "queries_served",
+            "_requests",
+            "_errors",
+            "_latency",
+            "_error_latency",
+            "_query_latency",
+            "_endpoint_latency",
+            "_stage_latency",
+            "_stats_totals",
+        }),
+    },
+    "serve/cluster.py": {
+        "ClusterCoordinator": frozenset({
+            "updates_applied",
+            "fallback_queries",
+            "retried_requests",
+            "workers",
+            "_journal",
+            "_pool",
+            "_started",
+            "_snapshot_path",
+            "_owns_snapshot",
+        }),
+    },
+}
+
+#: Method names that mutate a container in place: calling one of these
+#: on a guarded attribute counts as a write.
+MUTATING_METHODS = frozenset({
+    "append",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "merge",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+    "record",
+})
+
+# ----------------------------------------------------------------------
+# KSP003 — blocking calls that must not run under a lock
+# ----------------------------------------------------------------------
+#: Dotted-name suffixes considered blocking.  ``Condition.wait`` is
+#: deliberately absent: waiting on a condition *requires* holding its
+#: lock.  ``str.join`` collides with ``Thread.join``, so joins are
+#: excluded too — the lock-order runtime detector covers those.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "sleep",
+    "recv",
+    "recv_bytes",
+    "poll",
+    "select.select",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+})
+
+# ----------------------------------------------------------------------
+# KSP004 — nondeterminism in fingerprint-reproducible code paths
+# ----------------------------------------------------------------------
+#: Module-key prefixes whose built artefacts must be bit-reproducible
+#: (the NVD build and the distance oracles: ``structural_fingerprint``
+#: equality across parallel builds and worker rehydration depends on
+#: them being pure functions of their inputs).
+REPRODUCIBLE_PREFIXES = ("nvd/", "distance/")
+
+#: Dotted names whose call introduces wall-clock or RNG nondeterminism.
+#: ``random.Random`` (an explicitly seeded instance) is allowed and
+#: handled specially by the rule.
+NONDETERMINISTIC_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+})
+
+#: Functions of the global (process-wide, unseeded-by-default) RNGs.
+NONDETERMINISTIC_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+# ----------------------------------------------------------------------
+# KSP005 — the tier where exceptions must never be swallowed silently
+# ----------------------------------------------------------------------
+#: Module keys of the supervision/IPC tier: a swallowed exception here
+#: turns a worker death or pipe desync into an unexplained hang.
+IPC_TIER = frozenset({
+    "serve/supervisor.py",
+    "serve/ipc.py",
+    "serve/cluster.py",
+})
+
+# ----------------------------------------------------------------------
+# KSP006 — objects crossing the IPC boundary must pickle
+# ----------------------------------------------------------------------
+#: Module-key prefixes where IPC send calls live.
+IPC_PREFIX = "serve/"
+
+#: Method names that put a payload on a pipe (or hand one to a child
+#: process): lambdas and closures in their arguments fail to pickle
+#: (fork hides this until the first spawn-mode restart).
+IPC_SEND_METHODS = frozenset({"send", "send_bytes", "request", "Process"})
+
+# ----------------------------------------------------------------------
+# KSP001 — frozen API value types
+# ----------------------------------------------------------------------
+#: ``repro.api`` frozen dataclasses: the query surface's value types.
+#: Mutating one after construction breaks cache keys, journal replay,
+#: and cross-process equality all at once.
+FROZEN_API_TYPES = frozenset({"Query", "QueryResult", "Hit", "UpdateOp"})
+
+# ----------------------------------------------------------------------
+# Runtime write-guard registry (REPRO_LOCK_DEBUG=1)
+# ----------------------------------------------------------------------
+#: (dotted module, class name, lock attribute, guarded attributes) —
+#: resolved lazily by :func:`repro.analysis.lockdebug.instrument` so
+#: this module stays import-light and dependency-free.
+WATCHED_ATTRIBUTES: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
+    (
+        "repro.serve.metrics",
+        "ServerMetrics",
+        "_lock",
+        ("shed", "timeouts", "queries_served"),
+    ),
+    (
+        "repro.serve.cache",
+        "ResultCache",
+        "_lock",
+        ("hits", "misses", "invalidations"),
+    ),
+    (
+        "repro.serve.cluster",
+        "ClusterCoordinator",
+        "_stats_lock",
+        ("fallback_queries", "retried_requests"),
+    ),
+)

@@ -1,0 +1,35 @@
+"""Finding: one linter diagnostic, with stable formatting.
+
+Every rule in :mod:`repro.analysis.rules` reports violations as
+:class:`Finding` values; the CLI renders them one per line in the
+classic ``path:line:col: CODE message`` shape editors and CI log
+scrapers already understand, and ``--format json`` emits the same
+fields as a JSON array for tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, code) so reports are deterministic
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line report form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation for ``repro lint --format json``."""
+        return dict(asdict(self))

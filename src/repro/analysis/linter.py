@@ -1,0 +1,152 @@
+"""The ``repro lint`` driver: file discovery, suppression, reporting.
+
+Stdlib-only (``ast`` + ``pathlib``): the linter must run in a bare
+checkout with no dev dependencies installed, because it *is* the
+dependency-free half of the static-analysis gate (the other half,
+``repro typecheck``, shells out to mypy when available).
+
+Suppression
+-----------
+A finding is suppressed by a trailing comment on the flagged line::
+
+    self.conn.recv()  # ksp: ignore[KSP003] request/reply pipe discipline
+
+``# ksp: ignore`` with no code list suppresses every rule on that line;
+with a bracketed list it suppresses exactly those codes.
+
+Scope markers
+-------------
+Path-scoped rules (shared-state locks, reproducible paths, the IPC
+tier) key off the file's path relative to the ``repro`` package.  A
+file outside the package — e.g. a rule fixture under
+``tests/fixtures/lint/`` — opts into a scope with a marker in its first
+ten lines::
+
+    # ksp: scope=serve/cluster.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, ModuleContext, Rule
+
+_IGNORE_RE = re.compile(
+    r"#\s*ksp:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+_SCOPE_RE = re.compile(r"#\s*ksp:\s*scope=(?P<key>[\w./-]+)")
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def module_key(path: Path) -> str:
+    """The config key for ``path``: its location inside the package.
+
+    ``src/repro/serve/cluster.py`` -> ``serve/cluster.py``; files not
+    under a ``repro`` directory key as their bare filename (scope
+    markers can override either way).
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return path.name
+
+
+def _scope_override(source: str) -> str | None:
+    for line in source.splitlines()[:10]:
+        match = _SCOPE_RE.search(line)
+        if match:
+            return match.group("key")
+    return None
+
+
+def _suppressed(line_text: str, code: str) -> bool:
+    match = _IGNORE_RE.search(line_text)
+    if not match:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    return code in {token.strip() for token in codes.split(",")}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    key: str | None = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Finding]:
+    """Lint one source string; the unit every file and test goes through."""
+    effective_key = _scope_override(source) or key or Path(path).name
+    try:
+        ctx = ModuleContext.parse(path, effective_key, source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                code="KSP000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not _suppressed(ctx.line_text(finding.line), finding.code):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                path=str(file_path),
+                key=module_key(file_path),
+                rules=rules,
+            )
+        )
+    return sorted(findings)
+
+
+def select_rules(codes: Iterable[str] | None) -> list[Rule]:
+    """The rule subset for ``--select`` (all rules when ``codes`` is None)."""
+    if not codes:
+        return list(ALL_RULES)
+    wanted = {code.strip().upper() for code in codes}
+    unknown = wanted - {rule.code for rule in ALL_RULES}
+    if unknown:
+        raise ValueError(f"unknown rule codes: {', '.join(sorted(unknown))}")
+    return [rule for rule in ALL_RULES if rule.code in wanted]

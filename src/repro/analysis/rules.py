@@ -1,0 +1,592 @@
+"""The KSP rule catalogue: project invariants as AST checks.
+
+Each rule encodes one invariant the serving stack's correctness
+arguments rely on (see ``docs/static-analysis.md`` for the prose
+catalogue):
+
+========  ============================================================
+KSP001    no mutation of ``repro.api`` frozen-dataclass values
+KSP002    writes to declared shared state only under the declared lock
+KSP003    no blocking calls while holding a lock
+KSP004    no wall-clock/RNG nondeterminism in fingerprint-reproducible
+          code paths (NVD build, distance oracles)
+KSP005    no bare/swallowed exceptions in the supervision/IPC tier
+KSP006    no lambdas or closures in payloads crossing the IPC boundary
+========  ============================================================
+
+Rules are pure functions of a parsed module (:class:`ModuleContext`);
+the driver in :mod:`repro.analysis.linter` handles file discovery,
+``# ksp: ignore[...]`` suppression and exit codes.  Everything here is
+stdlib-only (``ast`` + the registry in :mod:`repro.analysis.config`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis import config
+from repro.analysis.findings import Finding
+
+#: Comment contract marking a helper as "caller holds the lock":
+#: ``def _unindex(self, key):  # ksp: holds[self._lock]``
+HOLDS_MARKER = "ksp: holds"
+
+
+# ----------------------------------------------------------------------
+# Shared per-module analysis context
+# ----------------------------------------------------------------------
+@dataclass
+class ModuleContext:
+    """One parsed source file plus the pre-computed facts rules share."""
+
+    path: str
+    key: str
+    tree: ast.Module
+    lines: list[str]
+    parents: dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, key: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, key=key, tree=tree, lines=source.splitlines())
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx.parents[id(child)] = parent
+        return ctx
+
+    # -- navigation ----------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self.parents.get(id(current))
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    # -- lock facts ----------------------------------------------------
+    def under_lock(self, node: ast.AST) -> bool:
+        """True when ``node`` is lexically inside a lock-holding region.
+
+        A region is a ``with`` statement over a lock expression, or the
+        body of a function carrying a ``# ksp: holds[...]`` contract
+        comment (a helper documented as "caller holds the lock").
+        """
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                if any(
+                    is_lock_expr(item.context_expr)
+                    for item in ancestor.items
+                ):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if HOLDS_MARKER in self.line_text(ancestor.lineno):
+                    return True
+        return False
+
+    def lock_withs(self) -> Iterator[ast.With]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                is_lock_expr(item.context_expr) for item in node.items
+            ):
+                yield node
+
+
+# ----------------------------------------------------------------------
+# Expression helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str:
+    """Flatten ``a.b.c`` / ``a.b.c(...)`` to ``"a.b.c"`` (best effort)."""
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def is_lock_expr(node: ast.AST) -> bool:
+    """Heuristic: is this ``with`` context expression a lock?
+
+    Matches lock-named attributes (``self._lock``, ``self._update_lock``,
+    ``self._mutex``) and readers-writer acquisitions
+    (``lock.read()`` / ``lock.write()`` / ``read_locked(...)``).
+    """
+    name = dotted_name(node).lower()
+    if not name:
+        return False
+    leaf = name.rsplit(".", 1)[-1]
+    if "lock" in name or "mutex" in name:
+        return True
+    if isinstance(node, ast.Call) and leaf in ("read", "write"):
+        base = dotted_name(node.func).lower()
+        return "lock" in base or "rw" in base
+    return leaf in ("read_locked", "write_locked")
+
+
+def _is_self_attribute(node: ast.AST, attrs: frozenset[str]) -> str | None:
+    """``self.<attr>`` (or a subscript of it) for a guarded attr, else None."""
+    target = node
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        and target.attr in attrs
+    ):
+        return target.attr
+    return None
+
+
+def _finding(
+    ctx: ModuleContext, node: ast.AST, code: str, message: str
+) -> Finding:
+    return Finding(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule protocol
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: one code, one invariant, one ``check`` pass."""
+
+    code: str = "KSP000"
+    title: str = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# KSP001 — frozen dataclass mutation
+# ----------------------------------------------------------------------
+class FrozenMutationRule(Rule):
+    """``repro.api`` value types are frozen: never assign their fields.
+
+    Detects attribute assignment / augmented assignment / deletion on
+    names inferred (from constructor calls and annotations) to hold a
+    :data:`~repro.analysis.config.FROZEN_API_TYPES` instance, and any
+    ``object.__setattr__`` outside a frozen dataclass's own
+    ``__post_init__``.
+    """
+
+    code = "KSP001"
+    title = "mutation of a frozen repro.api dataclass"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, func)
+        yield from self._check_setattr(ctx)
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _frozen_type_name(annotation: ast.AST | None) -> bool:
+        if annotation is None:
+            return False
+        name = dotted_name(annotation).rsplit(".", 1)[-1]
+        return name in config.FROZEN_API_TYPES
+
+    def _frozen_locals(self, func: ast.AST) -> set[str]:
+        names: set[str] = set()
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                if self._frozen_type_name(arg.annotation):
+                    names.add(arg.arg)
+        for node in ast.walk(func):
+            value = None
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign):
+                value, targets = node.value, [node.target]
+                if self._frozen_type_name(node.annotation):
+                    if isinstance(node.target, ast.Name):
+                        names.add(node.target.id)
+            if value is not None and isinstance(value, ast.Call):
+                callee = dotted_name(value.func).rsplit(".", 1)[-1]
+                if callee in config.FROZEN_API_TYPES:
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        frozen = self._frozen_locals(func)
+        if not frozen:
+            return
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in frozen
+                ):
+                    yield _finding(
+                        ctx,
+                        node,
+                        self.code,
+                        f"mutates field {target.attr!r} of frozen api value "
+                        f"{target.value.id!r} (frozen dataclasses are "
+                        "immutable by contract: build a new value instead)",
+                    )
+
+    def _check_setattr(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            func = ctx.enclosing_function(node)
+            if (
+                func is not None
+                and func.name in ("__init__", "__post_init__")
+                and self._in_frozen_dataclass(ctx, func)
+            ):
+                continue  # the frozen class's own construction
+            yield _finding(
+                ctx,
+                node,
+                self.code,
+                "object.__setattr__ outside a frozen dataclass's own "
+                "construction (__init__/__post_init__) defeats immutability",
+            )
+
+    @staticmethod
+    def _in_frozen_dataclass(ctx: ModuleContext, func: ast.AST) -> bool:
+        cls = ctx.enclosing_class(func)
+        if cls is None:
+            return False
+        for decorator in cls.decorator_list:
+            if dotted_name(decorator).rsplit(".", 1)[-1] != "dataclass":
+                continue
+            if isinstance(decorator, ast.Call):
+                for kw in decorator.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# KSP002 — shared-state writes outside the declared lock
+# ----------------------------------------------------------------------
+class UnlockedSharedWriteRule(Rule):
+    """Declared shared attributes may only be written under their lock.
+
+    Driven by :data:`~repro.analysis.config.GUARDED_ATTRIBUTES`;
+    ``__init__`` is exempt (the object is not yet shared), and helpers
+    whose ``def`` line carries ``# ksp: holds[...]`` are trusted to be
+    called with the lock held.
+    """
+
+    code = "KSP002"
+    title = "write to shared state outside its declared lock"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.key in config.GUARDED_ATTRIBUTES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        by_class = config.GUARDED_ATTRIBUTES[ctx.key]
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef) or cls.name not in by_class:
+                continue
+            attrs = by_class[cls.name]
+            for node in ast.walk(cls):
+                func = ctx.enclosing_function(node)
+                if func is None or func.name == "__init__":
+                    continue
+                yield from self._check_node(ctx, node, attrs)
+
+    def _check_node(
+        self, ctx: ModuleContext, node: ast.AST, attrs: frozenset[str]
+    ) -> Iterator[Finding]:
+        written: str | None = None
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                written = _is_self_attribute(target, attrs)
+                if written:
+                    break
+        elif isinstance(node, ast.AugAssign):
+            written = _is_self_attribute(node.target, attrs)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                written = _is_self_attribute(target, attrs)
+                if written:
+                    break
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in config.MUTATING_METHODS:
+                written = _is_self_attribute(node.func.value, attrs)
+        if written and not ctx.under_lock(node):
+            yield _finding(
+                ctx,
+                node,
+                self.code,
+                f"write to shared attribute 'self.{written}' outside its "
+                "declared lock (wrap in the guarding 'with <lock>' block, "
+                "or mark the helper '# ksp: holds[...]' if the caller "
+                "holds it)",
+            )
+
+
+# ----------------------------------------------------------------------
+# KSP003 — blocking calls while holding a lock
+# ----------------------------------------------------------------------
+class BlockingUnderLockRule(Rule):
+    """A blocking call under a lock turns slowness into a stall for all.
+
+    Flags :data:`~repro.analysis.config.BLOCKING_CALLS` (sleeps, pipe
+    ``recv``/``poll``, subprocess spawns, ``select``) lexically inside a
+    ``with <lock>`` block.
+    """
+
+    code = "KSP003"
+    title = "blocking call while holding a lock"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for with_node in ctx.lock_withs():
+            for node in ast.walk(with_node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                leaf = name.rsplit(".", 1)[-1]
+                if (
+                    name in config.BLOCKING_CALLS
+                    or leaf in config.BLOCKING_CALLS
+                ):
+                    yield _finding(
+                        ctx,
+                        node,
+                        self.code,
+                        f"blocking call {name or leaf!r} while holding a "
+                        "lock stalls every other thread waiting on it",
+                    )
+
+
+# ----------------------------------------------------------------------
+# KSP004 — nondeterminism in reproducible code paths
+# ----------------------------------------------------------------------
+class NondeterminismRule(Rule):
+    """NVD build and distance-oracle code must be fingerprint-pure.
+
+    Wall-clock reads and global-RNG draws in these modules make
+    ``structural_fingerprint`` comparisons (parallel build vs serial,
+    rehydrated worker vs parent) meaningless.  Seeded
+    ``random.Random(seed)`` instances are fine.
+    """
+
+    code = "KSP004"
+    title = "nondeterminism in a fingerprint-reproducible code path"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.key.startswith(config.REPRODUCIBLE_PREFIXES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            if name in config.NONDETERMINISTIC_CALLS:
+                yield self._report(ctx, node, name)
+                continue
+            for prefix in config.NONDETERMINISTIC_PREFIXES:
+                if name.startswith(prefix):
+                    leaf = name[len(prefix):]
+                    # random.Random(seed) is the *seeded* escape hatch.
+                    if leaf and leaf[0].isupper():
+                        break
+                    yield self._report(ctx, node, name)
+                    break
+
+    def _report(self, ctx: ModuleContext, node: ast.AST, name: str) -> Finding:
+        return _finding(
+            ctx,
+            node,
+            self.code,
+            f"{name}() in a reproducible code path breaks fingerprint "
+            "equality (thread seeds/timestamps in as parameters instead)",
+        )
+
+
+# ----------------------------------------------------------------------
+# KSP005 — swallowed exceptions in the supervision/IPC tier
+# ----------------------------------------------------------------------
+class SwallowedExceptionRule(Rule):
+    """Supervision and IPC code must account for every exception.
+
+    Flags bare ``except:`` anywhere in the tier, and ``except
+    Exception/BaseException`` handlers whose whole body is ``pass`` /
+    ``...`` / ``continue`` — a silently-eaten worker death is an
+    unexplained hang later.
+    """
+
+    code = "KSP005"
+    title = "swallowed exception in the supervision/IPC tier"
+
+    _SWALLOWING = ("pass", "continue", "ellipsis")
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.key in config.IPC_TIER
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield _finding(
+                    ctx,
+                    node,
+                    self.code,
+                    "bare 'except:' in the supervision/IPC tier catches "
+                    "SystemExit/KeyboardInterrupt and hides worker deaths",
+                )
+                continue
+            caught = dotted_name(node.type).rsplit(".", 1)[-1]
+            if caught in ("Exception", "BaseException") and self._swallows(
+                node.body
+            ):
+                yield _finding(
+                    ctx,
+                    node,
+                    self.code,
+                    f"'except {caught}' swallowing the error silently: "
+                    "record it (counter + message) so supervision "
+                    "failures are observable",
+                )
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or ...
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# KSP006 — closures over the IPC boundary
+# ----------------------------------------------------------------------
+class ClosureOverIpcRule(Rule):
+    """Payloads crossing a pipe must pickle: no lambdas, no closures.
+
+    Under the fork start method an unpicklable payload works by
+    accident until the first spawn-mode restart replays it.  Flags
+    lambdas (and references to locally-defined functions) in the
+    arguments of pipe sends / worker requests / ``Process(...)``
+    constructions within the serving tier.
+    """
+
+    code = "KSP006"
+    title = "lambda or closure in an IPC payload"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.key.startswith(config.IPC_PREFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func).rsplit(".", 1)[-1]
+            if callee not in config.IPC_SEND_METHODS:
+                continue
+            local_defs = self._local_function_names(ctx, node)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Lambda):
+                        yield _finding(
+                            ctx,
+                            sub,
+                            self.code,
+                            f"lambda in a {callee!r} payload cannot pickle "
+                            "across the IPC boundary (send data, not code)",
+                        )
+                    elif (
+                        isinstance(sub, ast.Name)
+                        and sub.id in local_defs
+                    ):
+                        yield _finding(
+                            ctx,
+                            sub,
+                            self.code,
+                            f"closure {sub.id!r} in a {callee!r} payload "
+                            "cannot pickle across the IPC boundary "
+                            "(module-level functions only)",
+                        )
+
+    @staticmethod
+    def _local_function_names(ctx: ModuleContext, node: ast.AST) -> set[str]:
+        func = ctx.enclosing_function(node)
+        if func is None:
+            return set()
+        return {
+            stmt.name
+            for stmt in ast.walk(func)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt is not func
+        }
+
+
+#: The registry, in catalogue order.
+ALL_RULES: tuple[Rule, ...] = (
+    FrozenMutationRule(),
+    UnlockedSharedWriteRule(),
+    BlockingUnderLockRule(),
+    NondeterminismRule(),
+    SwallowedExceptionRule(),
+    ClosureOverIpcRule(),
+)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

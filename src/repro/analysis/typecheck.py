@@ -1,0 +1,56 @@
+"""The ``repro typecheck`` verb: a thin gate over ``mypy --strict``.
+
+The project's typing gate is mypy (pinned as an optional dev
+dependency: ``pip install -e .[dev]``); configuration lives in
+``pyproject.toml`` (``[tool.mypy]`` — globally strict, with a ratchet
+of per-module relaxations for legacy modules that are burned down over
+time).  This wrapper exists so:
+
+* the CLI surface is uniform (``repro lint`` / ``repro typecheck``);
+* a bare checkout without dev dependencies degrades loudly but
+  gracefully (skip + instructions) instead of crashing — the stdlib
+  linter still runs everywhere;
+* CI can pass ``--require`` to turn "mypy missing" into a hard failure.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from typing import Sequence
+
+#: Exit code for "gate could not run" (distinct from mypy's 1/2).
+EXIT_UNAVAILABLE = 3
+
+
+def mypy_available() -> bool:
+    """Whether the pinned dev dependency is importable."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_typecheck(
+    paths: Sequence[str],
+    strict: bool = True,
+    require: bool = False,
+) -> int:
+    """Run ``mypy`` over ``paths``; returns the process exit code.
+
+    Without mypy installed: prints how to get it and returns 0 (soft
+    skip) or :data:`EXIT_UNAVAILABLE` when ``require`` is set (CI).
+    """
+    if not mypy_available():
+        print(
+            "repro typecheck: SKIPPED — mypy is not installed in this "
+            "environment.\n"
+            "  install the pinned dev toolchain:  pip install -e .[dev]\n"
+            "  then re-run:                       repro typecheck",
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE if require else 0
+    command = [sys.executable, "-m", "mypy"]
+    if strict:
+        command.append("--strict")
+    command.extend(paths)
+    completed = subprocess.run(command, check=False)
+    return completed.returncode

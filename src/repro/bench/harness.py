@@ -32,7 +32,6 @@ from repro.core.framework import KSpin
 from repro.datasets.synthetic import SyntheticDataset, load_dataset
 from repro.datasets.workloads import WorkloadGenerator
 from repro.distance.ch import ContractionHierarchy
-from repro.distance.dijkstra_oracle import DijkstraOracle
 from repro.distance.gtree import GTree
 from repro.distance.hub_labeling import HubLabeling
 from repro.lowerbound.alt import AltLowerBounder

@@ -14,6 +14,12 @@ Commands
 ``explain``
     Run one query under a forced trace and pretty-print its span tree
     with per-stage timings and the §5.1 cost counters.
+``lint``
+    Run the project-invariant linter (KSP rules, stdlib-only) over the
+    source tree; non-zero exit on any finding.
+``typecheck``
+    Run the strict typing gate (``mypy --strict``; pinned dev
+    dependency) over the source tree.
 ``demo``
     Run the Figure-1 quickstart end to end.
 
@@ -83,7 +89,6 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
     if args.gr:
         from repro.graph import read_dimacs
-        from repro.datasets.synthetic import generate_dataset  # noqa: F401
 
         print(f"Loading DIMACS graph from {args.gr} ...")
         graph = read_dimacs(args.gr, args.co)
@@ -307,6 +312,55 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_paths() -> list[str]:
+    """Lint ``src/repro`` when run from a checkout, else the cwd."""
+    import os
+
+    for candidate in ("src/repro", "src"):
+        if os.path.isdir(candidate):
+            return [candidate]
+    return ["."]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the stdlib project-invariant linter (KSP001...)."""
+    import json
+
+    from repro.analysis import ALL_RULES, lint_paths, select_rules
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.title}")
+        return 0
+    try:
+        rules = select_rules(args.select)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    paths = args.paths or _default_lint_paths()
+    findings = lint_paths(paths, rules=rules)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+    if findings:
+        if args.format != "json":
+            print(f"repro lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if args.format != "json":
+        print("repro lint: clean")
+    return 0
+
+
+def _cmd_typecheck(args: argparse.Namespace) -> int:
+    """Run the strict typing gate (mypy, pinned dev dependency)."""
+    from repro.analysis import run_typecheck
+
+    paths = args.paths or _default_lint_paths()
+    return run_typecheck(paths, strict=not args.no_strict, require=args.require)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     """A self-contained run of the paper's Figure-1 example queries."""
     from repro.core import KSpin
@@ -354,9 +408,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="K-SPIN: spatial keyword queries on road networks",
+        epilog=(
+            "static analysis: `repro lint` runs the project-invariant "
+            "linter (KSP001..., stdlib-only) and `repro typecheck` runs "
+            "the strict typing gate (mypy --strict, dev dependency); "
+            "both are CI gates — see docs/static-analysis.md"
+        ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -452,6 +519,31 @@ def build_parser() -> argparse.ArgumentParser:
                       const="topk", help="weighted top-k")
     explain.set_defaults(kind="bknn")
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the project-invariant linter (KSP rules, stdlib-only)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--select", nargs="+", metavar="CODE",
+                      help="run only these rule codes (e.g. KSP002 KSP003)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="report format")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
+    typecheck = commands.add_parser(
+        "typecheck",
+        help="run the strict typing gate (mypy --strict over src/repro)",
+    )
+    typecheck.add_argument("paths", nargs="*",
+                           help="files or directories (default: src/repro)")
+    typecheck.add_argument("--no-strict", action="store_true",
+                           help="drop the --strict flag (debugging only)")
+    typecheck.add_argument("--require", action="store_true",
+                           help="fail (exit 3) when mypy is not installed "
+                                "instead of skipping — used by CI")
+
     commands.add_parser("demo", help="run the Figure-1 quickstart")
     return parser
 
@@ -464,6 +556,8 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "explain": _cmd_explain,
+        "lint": _cmd_lint,
+        "typecheck": _cmd_typecheck,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

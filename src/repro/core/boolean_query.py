@@ -23,9 +23,12 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.heap_generator import InvertedHeap
+from repro.graph.road_network import RoadNetwork
+from repro.text.documents import KeywordDataset
+from repro.text.relevance import RelevanceModel
 from repro.core.query_processor import QueryProcessor, QueryStats, _TopKList
 
 INFINITY = math.inf
@@ -63,7 +66,7 @@ class BooleanExpression:
                 seen.setdefault(t)
         return tuple(seen)
 
-    def matches(self, has_keyword) -> bool:
+    def matches(self, has_keyword: Callable[[str], bool]) -> bool:
         """Evaluate against a ``has_keyword(keyword) -> bool`` callback."""
         return all(any(has_keyword(t) for t in group) for group in self.groups)
 
@@ -214,9 +217,9 @@ def boolean_top_k(
 
 
 def brute_force_boolean_top_k(
-    graph,
-    dataset,
-    relevance,
+    graph: RoadNetwork,
+    dataset: KeywordDataset,
+    relevance: RelevanceModel,
     query: int,
     k: int,
     expression: BooleanExpression,
@@ -242,8 +245,8 @@ def brute_force_boolean_top_k(
 
 
 def brute_force_boolean_bknn(
-    graph,
-    dataset,
+    graph: RoadNetwork,
+    dataset: KeywordDataset,
     query: int,
     k: int,
     expression: BooleanExpression,

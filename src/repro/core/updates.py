@@ -13,6 +13,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from typing import Callable
 from dataclasses import dataclass
 
 from repro.graph.road_network import RoadNetwork
@@ -71,17 +72,17 @@ class BackgroundRebuilder:
             rebuilder.wait()   # all scheduled rebuilds finished
     """
 
-    def __init__(self, index, graph: RoadNetwork) -> None:
+    def __init__(self, index: ApproximateNVD, graph: RoadNetwork) -> None:
         self._index = index
         self._graph = graph
         self._tasks: queue.Queue[str | None] = queue.Queue()
         self._rebuilt: list[str] = []
         self._errors: list[tuple[str, Exception]] = []
-        self._listeners: list = []
+        self._listeners: list[Callable[[str], None]] = []
         self._worker = threading.Thread(target=self._run, daemon=True)
         self._worker.start()
 
-    def add_listener(self, listener) -> None:
+    def add_listener(self, listener: Callable[[str], None]) -> None:
         """Register ``listener(keyword)`` to fire after each diagram swap.
 
         This is the serving layer's cache-invalidation hook: a freshly

@@ -22,7 +22,6 @@ and tree traversal helpers.
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass, field
 

@@ -21,7 +21,7 @@ diagram.
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable
 
 from repro.graph.road_network import RoadNetwork
 from repro.nvd.quadtree import MortonQuadtree

@@ -13,7 +13,7 @@ whose size Figure 6(a) compares against.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 
 class MortonQuadtree:

@@ -41,7 +41,7 @@ def _labels(labels: Mapping[str, str] | None) -> str:
     return "{" + inner + "}"
 
 
-def _format_value(value) -> str:
+def _format_value(value: object) -> str:
     if value is None:
         return "NaN"
     if isinstance(value, bool):
@@ -72,7 +72,7 @@ class _Writer:
         name: str,
         kind: str,
         help_text: str,
-        value,
+        value: object,
         labels: Mapping[str, str] | None = None,
     ) -> None:
         full = self._describe(name, kind, help_text)

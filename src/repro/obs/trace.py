@@ -154,7 +154,7 @@ class _Noop:
     def add_time(self, _name: str, _seconds: float) -> None:
         pass
 
-    def graft(self, _subtree) -> None:
+    def graft(self, _subtree: object) -> None:
         pass
 
 
@@ -225,7 +225,7 @@ def current_span() -> Span | None:
     return _ACTIVE.get()
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> "_SpanContext | _Noop":
     """Open a child span under the active span (no-op when not tracing)."""
     parent = _ACTIVE.get()
     if parent is None:
@@ -233,7 +233,7 @@ def span(name: str, **attrs):
     return _SpanContext(parent, name, attrs or None)
 
 
-def timed(name: str):
+def timed(name: str) -> "_TimerContext | _Noop":
     """Time one hot-path call into the active span's aggregate timers."""
     parent = _ACTIVE.get()
     if parent is None:
@@ -248,7 +248,7 @@ def annotate(**attrs) -> None:
         parent.attrs.update(attrs)
 
 
-def attach(span_obj):
+def attach(span_obj: object) -> "_AttachContext | _Noop":
     """Continue an existing span on this thread; tolerates the no-op."""
     if isinstance(span_obj, Span):
         return _AttachContext(span_obj)
@@ -349,7 +349,13 @@ class Tracer:
     # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
-    def trace(self, name: str, trace_id: str | None = None, force: bool = False, **attrs):
+    def trace(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        force: bool = False,
+        **attrs: object,
+    ) -> "_RootContext | _Noop":
         """Open a root span, or the shared no-op when tracing is off."""
         if not (self.enabled or force):
             return NOOP

@@ -18,8 +18,9 @@ module wraps :class:`concurrent.futures.ThreadPoolExecutor` with:
 from __future__ import annotations
 
 import concurrent.futures
-import threading
 from typing import Callable, TypeVar
+
+from repro.analysis.lockdebug import make_lock
 
 T = TypeVar("T")
 
@@ -63,7 +64,7 @@ class WorkerPool:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
-        self._lock = threading.Lock()
+        self._lock = make_lock("admission")
         self._in_flight = 0
         self._closed = False
 

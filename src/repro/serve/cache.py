@@ -15,9 +15,10 @@ cache can be shared by all worker threads.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Hashable, Iterable
+
+from repro.analysis.lockdebug import make_lock
 
 #: Cache keys are ``(vertex, frozenset(keywords), k, kind, mode)``.
 CacheKey = tuple[int, frozenset[str], int, str, Hashable]
@@ -53,7 +54,7 @@ class ResultCache:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("cache")
         self._entries: OrderedDict[CacheKey, list[tuple[int, float]]] = OrderedDict()
         # keyword -> keys of live entries that read that keyword's diagram.
         self._by_keyword: dict[str, set[CacheKey]] = {}
@@ -95,7 +96,7 @@ class ResultCache:
             for keyword in key[1]:
                 self._by_keyword.setdefault(keyword, set()).add(key)
 
-    def _unindex(self, key: CacheKey) -> None:
+    def _unindex(self, key: CacheKey) -> None:  # ksp: holds[self._lock]
         for keyword in key[1]:
             keys = self._by_keyword.get(keyword)
             if keys is not None:

@@ -33,9 +33,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.analysis.lockdebug import make_lock
 from repro.api import (
     Query,
     QueryResult,
@@ -61,7 +61,7 @@ from repro.serve.supervisor import Supervisor
 PLACEMENTS = ("replicate", "shard-by-keyword")
 
 
-def _preferred_context(start_method: str | None):
+def _preferred_context(start_method: str | None) -> multiprocessing.context.BaseContext:
     """The requested or best-available multiprocessing context."""
     if start_method is not None:
         return multiprocessing.get_context(start_method)
@@ -135,7 +135,11 @@ class ClusterCoordinator:
         self.workers: list[WorkerHandle | None] = [None] * num_workers
         self._journal: list[dict] = []
         # Reentrant: apply() restarts diverged workers while holding it.
-        self._update_lock = threading.RLock()
+        self._update_lock = make_lock("cluster.update", rlock=True)
+        # Request-path counters share no state with updates: their own
+        # small mutex keeps the hot dispatch path off the update lock
+        # (KSP002: `+=` on an attribute is not atomic, even under the GIL).
+        self._stats_lock = make_lock("cluster.stats")
         self._pool: ThreadPoolExecutor | None = None
         self.supervisor = Supervisor(
             self, interval=health_interval, ping_timeout=ping_timeout
@@ -145,6 +149,7 @@ class ClusterCoordinator:
         self.updates_applied = 0
         self.fallback_queries = 0
         self.retried_requests = 0
+        self.last_error: str | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -177,12 +182,12 @@ class ClusterCoordinator:
                 self._pool.shutdown(wait=True)
                 self._pool = None
             self._started = False
-        if self._owns_snapshot and self._snapshot_path:
-            try:
-                os.unlink(self._snapshot_path)
-            except OSError:
-                pass
-            self._owns_snapshot = False
+            if self._owns_snapshot and self._snapshot_path:
+                try:
+                    os.unlink(self._snapshot_path)
+                except OSError as error:
+                    self.last_error = f"snapshot cleanup: {error}"
+                self._owns_snapshot = False
 
     def __enter__(self) -> "ClusterCoordinator":
         return self.start()
@@ -224,7 +229,7 @@ class ClusterCoordinator:
         child_conn.close()
         return WorkerHandle(name, process, parent_conn)
 
-    def _ensure_snapshot(self) -> str:
+    def _ensure_snapshot(self) -> str:  # ksp: holds[self._update_lock]
         if self._snapshot_path is None:
             from repro.persist import save_kspin
 
@@ -327,7 +332,8 @@ class ClusterCoordinator:
                         payload["trace_id"] = dspan.trace_id
                     body = handle.request("query", payload)
                     if died:
-                        self.retried_requests += 1
+                        with self._stats_lock:
+                            self.retried_requests += 1
                     worker_trace = (
                         body.get("trace") if isinstance(body, dict) else None
                     )
@@ -339,8 +345,10 @@ class ClusterCoordinator:
                     self.supervisor.kick()
                     continue
             if died:
-                self.retried_requests += 1
-            self.fallback_queries += 1
+                with self._stats_lock:
+                    self.retried_requests += 1
+            with self._stats_lock:
+                self.fallback_queries += 1
             dspan.annotate(fallback=True)
             return self._fallback.execute(query)
 
@@ -422,6 +430,8 @@ class ClusterCoordinator:
                 h.restarts for h in self.workers if h is not None
             ),
             "supervisor_sweeps": self.supervisor.sweeps,
+            "supervisor_sweep_errors": self.supervisor.sweep_errors,
+            "supervisor_last_error": self.supervisor.last_error,
             "fallback_queries": self.fallback_queries,
             "retried_requests": self.retried_requests,
             "updates_applied": self.updates_applied,

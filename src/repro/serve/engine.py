@@ -97,7 +97,7 @@ class Engine:
         self._kspin = kspin
         self.cache = ResultCache(cache_size)
         self.metrics = metrics or ServerMetrics()
-        self.lock = ReadWriteLock()
+        self.lock = ReadWriteLock(name="engine.rwlock")
         self._local = threading.local()
         self.updates_applied = 0
 

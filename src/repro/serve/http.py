@@ -51,15 +51,20 @@ from __future__ import annotations
 import json
 import threading
 import time
+from typing import TYPE_CHECKING
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.api import Query, UnsupportedQueryError, UpdateOp
+from repro.api import Query, QueryResult, UnsupportedQueryError, UpdateOp
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import TRACER, attach
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
 from repro.serve.ipc import WorkerError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.serve.cluster import ClusterCoordinator
+    from repro.serve.engine import Engine
 from repro.serve.metrics import ServerMetrics
 
 
@@ -98,7 +103,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_ok(self, result, deprecated: bool = False) -> None:
+    def _send_ok(self, result: object, deprecated: bool = False) -> None:
         self._send_json(200, {"ok": True, "result": result}, deprecated=deprecated)
 
     def _send_text(self, text: str, content_type: str) -> None:
@@ -271,7 +276,7 @@ class _Handler(BaseHTTPRequestHandler):
         ) as root:
             submitted = time.perf_counter()
 
-            def call():
+            def call() -> QueryResult:
                 waited = time.perf_counter() - submitted
                 with attach(root):
                     root.add_time("admission.wait", waited)
@@ -337,7 +342,7 @@ class QueryServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        backend,
+        backend: Engine | ClusterCoordinator,
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 4,
@@ -369,7 +374,7 @@ class QueryServer(ThreadingHTTPServer):
         TRACER.add_sink(self._trace_sink)
 
     @property
-    def engine(self):
+    def engine(self) -> Engine | ClusterCoordinator:
         """Backward-compatible alias for :attr:`backend`."""
         return self.backend
 

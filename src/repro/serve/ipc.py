@@ -25,12 +25,14 @@ HTTP envelope.
 
 from __future__ import annotations
 
-import threading
 import traceback
 from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
 from typing import Sequence
 
+from repro.analysis.lockdebug import make_lock
 from repro.api import Query, QueryResult, UnsupportedQueryError, UpdateOp
+from repro.core.framework import KSpin
 from repro.obs.trace import TRACER
 
 
@@ -59,11 +61,11 @@ class WorkerHandle:
     ``send``/``recv`` so concurrent scatter threads never interleave.
     """
 
-    def __init__(self, name: str, process, conn: Connection) -> None:
+    def __init__(self, name: str, process: BaseProcess, conn: Connection) -> None:
         self.name = name
         self.process = process
         self.conn = conn
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"ipc.{name}")
         self.requests = 0
         self.inflight = 0
         self.restarts = 0
@@ -71,7 +73,7 @@ class WorkerHandle:
     # ------------------------------------------------------------------
     # Request/reply
     # ------------------------------------------------------------------
-    def request(self, kind: str, payload, timeout: float | None = None):
+    def request(self, kind: str, payload: object, timeout: float | None = None) -> object:
         """Send ``(kind, payload)`` and wait for the worker's reply.
 
         ``timeout`` only makes sense for idempotent probes (pings): an
@@ -84,11 +86,15 @@ class WorkerHandle:
             try:
                 try:
                     self.conn.send((kind, payload))
-                    if timeout is not None and not self.conn.poll(timeout):
+                    # The blocking waits below hold this handle's mutex
+                    # by design: the mutex *is* the request/reply pipe
+                    # discipline (one outstanding request per worker);
+                    # scatter parallelism lives across workers instead.
+                    if timeout is not None and not self.conn.poll(timeout):  # ksp: ignore[KSP003]
                         raise WorkerDied(
                             f"worker {self.name} unresponsive after {timeout}s"
                         )
-                    status, body = self.conn.recv()
+                    status, body = self.conn.recv()  # ksp: ignore[KSP003]
                 except (EOFError, OSError, BrokenPipeError) as exc:
                     raise WorkerDied(f"worker {self.name} is gone: {exc}") from exc
                 self.requests += 1
@@ -133,7 +139,7 @@ class WorkerHandle:
 def worker_main(
     conn: Connection,
     name: str,
-    kspin=None,
+    kspin: KSpin | None = None,
     cache_size: int = 0,
     snapshot_path: str | None = None,
     journal: Sequence[dict] = (),

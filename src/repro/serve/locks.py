@@ -10,7 +10,23 @@ takes this lock in read mode around queries and in write mode around
 updates.
 
 Writer-preferring: once a writer is waiting, new readers queue behind
-it, so a steady query stream cannot starve updates.
+it, so a steady query stream cannot starve updates.  Two hardening
+guarantees on top of the classic discipline:
+
+* **Reader re-entry is safe.**  A thread already holding the read lock
+  may re-acquire it even while a writer waits (per-thread hold counts);
+  without this, reader re-entry under a waiting writer deadlocks — the
+  re-entering reader queues behind the writer, which waits for that
+  same reader to drain.
+* **Unbalanced releases raise.**  ``release_read`` without a matching
+  ``acquire_read`` (or ``release_write`` by a thread that is not the
+  active writer) raises ``RuntimeError`` instead of silently corrupting
+  the reader count.
+
+In ``REPRO_LOCK_DEBUG=1`` mode every acquisition/release reports to the
+global lock-order graph (:mod:`repro.analysis.lockdebug`), so inverted
+acquisition orders across the serving stack surface as cycle reports
+instead of rare production deadlocks.
 """
 
 from __future__ import annotations
@@ -19,32 +35,65 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analysis import lockdebug
+
 
 class ReadWriteLock:
     """Many concurrent readers, exclusive writers, writer-preferring."""
 
-    def __init__(self) -> None:
+    def __init__(self, name: str | None = None) -> None:
         self._mutex = threading.Lock()
         self._readers_done = threading.Condition(self._mutex)
         self._writer_done = threading.Condition(self._mutex)
         self._active_readers = 0
         self._writer_active = False
+        self._writer_thread: int | None = None
         self._writers_waiting = 0
+        self._local = threading.local()
+        self.name = name or f"rwlock@{id(self):x}"
+        # Snapshot at construction: instrumentation is opt-in *before*
+        # engines are built, so the hot path never re-checks the flag.
+        self._debug = lockdebug.enabled()
+
+    def _read_count(self) -> int:
+        return getattr(self._local, "read_count", 0)
 
     # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------
     def acquire_read(self) -> None:
+        held = self._read_count()
+        if held:
+            # Re-entrant read: this thread already counts among the
+            # active readers, so no writer can be active — waiting on
+            # the writer queue here would deadlock against a writer
+            # that waits for *this* reader to drain.
+            with self._mutex:
+                self._active_readers += 1
+            self._local.read_count = held + 1
+            return
         with self._mutex:
             while self._writer_active or self._writers_waiting:
                 self._writer_done.wait()
             self._active_readers += 1
+        self._local.read_count = 1
+        if self._debug:
+            lockdebug.note_acquire(self, f"{self.name}:read")
 
     def release_read(self) -> None:
+        held = self._read_count()
+        if held <= 0:
+            raise RuntimeError(
+                f"release_read on {self.name!r} without a matching "
+                "acquire_read in this thread"
+            )
+        self._local.read_count = held - 1
         with self._mutex:
             self._active_readers -= 1
             if self._active_readers == 0:
                 self._readers_done.notify_all()
+        if self._debug and held == 1:
+            lockdebug.note_release(self)
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -60,6 +109,10 @@ class ReadWriteLock:
     # ------------------------------------------------------------------
     def acquire_write(self) -> None:
         with self._mutex:
+            if self._writer_active and self._writer_thread == threading.get_ident():
+                raise RuntimeError(
+                    f"write side of {self.name!r} is not re-entrant"
+                )
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._active_readers:
@@ -67,12 +120,27 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            self._writer_thread = threading.get_ident()
+        if self._debug:
+            lockdebug.note_acquire(self, f"{self.name}:write")
 
     def release_write(self) -> None:
         with self._mutex:
+            if not self._writer_active:
+                raise RuntimeError(
+                    f"release_write on {self.name!r} without an active writer"
+                )
+            if self._writer_thread != threading.get_ident():
+                raise RuntimeError(
+                    f"release_write on {self.name!r} from a thread that is "
+                    "not the active writer"
+                )
             self._writer_active = False
+            self._writer_thread = None
             self._readers_done.notify_all()
             self._writer_done.notify_all()
+        if self._debug:
+            lockdebug.note_release(self)
 
     @contextmanager
     def write(self) -> Iterator[None]:

@@ -21,9 +21,9 @@ numbers unreliable exactly where they mattered.
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING, Iterable, Mapping
 
+from repro.analysis.lockdebug import make_lock
 from repro.core.query_processor import QueryStats
 from repro.obs.histogram import LogHistogram
 
@@ -62,7 +62,7 @@ class ServerMetrics:
     """All serving counters behind one mutex, snapshot for ``/metrics``."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("metrics")
         self._latency = LatencyRecorder()
         self._error_latency = LatencyRecorder()
         self._query_latency = LatencyRecorder()

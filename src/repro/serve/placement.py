@@ -30,10 +30,11 @@ a correctness one — any worker can answer any query.  Two policies:
 from __future__ import annotations
 
 import itertools
-import threading
 import zlib
+from typing import Callable
 from dataclasses import dataclass, field
 
+from repro.analysis.lockdebug import make_lock
 from repro.api import Query
 
 
@@ -78,7 +79,7 @@ class ReplicateRouter:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
         self._counter = itertools.count()
-        self._lock = threading.Lock()
+        self._lock = make_lock("placement.replicate")
 
     def plan(self, query: Query, inflight: list[int]) -> RoutingPlan:
         with self._lock:
@@ -94,7 +95,11 @@ class KeywordShardRouter:
 
     name = "shard-by-keyword"
 
-    def __init__(self, num_workers: int, inverted_size=None) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        inverted_size: Callable[[str], int] | None = None,
+    ) -> None:
         """``inverted_size(keyword) -> int`` ranks keyword rarity for the
         conjunctive/top-k single-owner rule; defaults to treating all
         keywords as equally rare (first-owner order)."""

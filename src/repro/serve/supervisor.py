@@ -21,6 +21,10 @@ starts immediately instead of waiting out the interval.
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serve.cluster import ClusterCoordinator
 
 
 class Supervisor:
@@ -41,7 +45,7 @@ class Supervisor:
 
     def __init__(
         self,
-        cluster,
+        cluster: "ClusterCoordinator",
         interval: float = 1.0,
         ping_timeout: float = 1.0,
     ) -> None:
@@ -50,6 +54,8 @@ class Supervisor:
         self.ping_timeout = ping_timeout
         self.restarts = 0
         self.sweeps = 0
+        self.sweep_errors = 0
+        self.last_error: str | None = None
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -87,8 +93,12 @@ class Supervisor:
                 break
             try:
                 self.check_once()
-            except Exception:  # noqa: BLE001 - supervision must not die
-                pass
+            except Exception as error:  # noqa: BLE001 - supervision must not die
+                # KSP005: never swallow silently — a sweep that keeps
+                # failing is itself a serving incident, so count it and
+                # keep the message for /metrics and health payloads.
+                self.sweep_errors += 1
+                self.last_error = f"{type(error).__name__}: {error}"
 
     def check_once(self) -> int:
         """One sweep; returns how many workers were restarted."""

@@ -22,7 +22,7 @@ scores.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.text.documents import KeywordDataset
 

@@ -1,0 +1,13 @@
+"""Seeded KSP001 violation: mutating a frozen repro.api dataclass."""
+
+from repro.api import Query
+
+
+def rewrite_k(query_vertex: int) -> Query:
+    query = Query(vertex=query_vertex, keywords=("thai",), k=5)
+    query.k = 10  # violation: frozen dataclass field assignment
+    return query
+
+
+def sneaky(query: Query) -> None:
+    object.__setattr__(query, "kind", "topk")  # violation: __setattr__ escape

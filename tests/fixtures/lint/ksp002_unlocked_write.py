@@ -1,0 +1,18 @@
+# ksp: scope=serve/cluster.py
+"""Seeded KSP002 violation: shared-state write outside its lock."""
+
+import threading
+
+
+class ClusterCoordinator:
+    def __init__(self) -> None:
+        self._update_lock = threading.RLock()
+        self.fallback_queries = 0
+        self.updates_applied = 0
+
+    def record_fallback(self) -> None:
+        self.fallback_queries += 1  # violation: no lock held
+
+    def record_update(self) -> None:
+        with self._update_lock:
+            self.updates_applied += 1  # fine: under the declared lock

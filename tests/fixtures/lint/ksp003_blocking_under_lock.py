@@ -1,0 +1,18 @@
+"""Seeded KSP003 violation: blocking call while holding a lock."""
+
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def pause(self) -> None:
+        with self._lock:
+            time.sleep(0.5)  # violation: sleep stalls every waiter
+
+    def pause_politely(self) -> None:
+        time.sleep(0.5)  # fine: no lock held
+        with self._lock:
+            pass

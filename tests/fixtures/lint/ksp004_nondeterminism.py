@@ -1,0 +1,22 @@
+# ksp: scope=nvd/builder.py
+"""Seeded KSP004 violation: nondeterminism in a reproducible path."""
+
+import random
+import time
+
+
+def build_cell_order(num_cells: int) -> list[int]:
+    order = list(range(num_cells))
+    random.shuffle(order)  # violation: global RNG in NVD build
+    return order
+
+
+def stamp_build() -> float:
+    return time.time()  # violation: wall clock in a fingerprinted artefact
+
+
+def seeded_order(num_cells: int, seed: int) -> list[int]:
+    rng = random.Random(seed)  # fine: explicitly seeded instance
+    order = list(range(num_cells))
+    rng.shuffle(order)
+    return order

@@ -1,0 +1,18 @@
+# ksp: scope=serve/supervisor.py
+"""Seeded KSP005 violations: swallowed exceptions in the IPC tier."""
+
+
+def sweep(workers: list[object]) -> None:
+    for worker in workers:
+        try:
+            worker.ping()  # type: ignore[attr-defined]
+        except:  # violation: bare except hides worker deaths
+            pass
+
+
+def fan_out(handles: list[object]) -> None:
+    for handle in handles:
+        try:
+            handle.request("update")  # type: ignore[attr-defined]
+        except Exception:  # violation: silently swallowed
+            pass

@@ -1,0 +1,13 @@
+# ksp: scope=serve/ipc.py
+"""Seeded KSP006 violation: a lambda crossing the IPC boundary."""
+
+
+def ship_work(conn: object, values: list[int]) -> None:
+    conn.send(("job", lambda item: item * 2, values))  # type: ignore[attr-defined]
+
+
+def ship_closure(conn: object, offset: int) -> None:
+    def shifted(item: int) -> int:
+        return item + offset
+
+    conn.send(("job", shifted))  # type: ignore[attr-defined]

@@ -1,0 +1,20 @@
+# ksp: scope=serve/supervisor.py
+"""Every violation here carries a suppression: the file must lint clean."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+def pause() -> None:
+    with _lock:
+        time.sleep(0.01)  # ksp: ignore[KSP003] fixture: justified pause
+
+
+def sweep(workers: list[object]) -> None:
+    for worker in workers:
+        try:
+            worker.ping()  # type: ignore[attr-defined]
+        except Exception:  # ksp: ignore
+            pass

@@ -180,3 +180,42 @@ class TestServeCommand:
             except subprocess.TimeoutExpired:
                 process.kill()
                 process.wait()
+
+
+class TestStaticAnalysisVerbs:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_help_epilog_mentions_analysis_verbs(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        assert "repro lint" in help_text
+        assert "repro typecheck" in help_text
+        assert "docs/static-analysis.md" in help_text
+
+    def test_lint_verb_clean_tree(self, capsys):
+        import pathlib
+
+        src = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        assert main(["lint", str(src)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_verb_flags_fixture(self, capsys):
+        import pathlib
+
+        fixtures = pathlib.Path(__file__).parent / "fixtures" / "lint"
+        assert main(["lint", str(fixtures / "ksp001_frozen_mutation.py")]) == 1
+        captured = capsys.readouterr()
+        assert "KSP001" in captured.out
+        assert "finding" in captured.err
+
+    def test_typecheck_verb_never_crashes(self):
+        import pathlib
+
+        src = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        assert main(["typecheck", str(src)]) in (0, 1)

@@ -1,0 +1,201 @@
+"""Hardening tests for the serving engine's readers-writer lock."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.locks import ReadWriteLock
+
+
+def test_concurrent_readers_share() -> None:
+    lock = ReadWriteLock(name="t")
+    inside = threading.Barrier(2, timeout=5)
+
+    def reader() -> None:
+        with lock.read():
+            inside.wait()  # both readers inside simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert not any(t.is_alive() for t in threads)
+
+
+def test_writer_excludes_readers_and_writers() -> None:
+    lock = ReadWriteLock(name="t")
+    log: list[str] = []
+    in_write = threading.Event()
+    release = threading.Event()
+
+    def writer() -> None:
+        with lock.write():
+            in_write.set()
+            release.wait(timeout=5)
+            log.append("write-done")
+
+    def reader() -> None:
+        with lock.read():
+            log.append("read")
+
+    w = threading.Thread(target=writer)
+    w.start()
+    assert in_write.wait(timeout=5)
+    r = threading.Thread(target=reader)
+    r.start()
+    time.sleep(0.05)  # give the reader a chance to (incorrectly) slip in
+    assert log == []
+    release.set()
+    w.join(timeout=5)
+    r.join(timeout=5)
+    assert log == ["write-done", "read"]
+
+
+def test_writer_preference_blocks_new_readers() -> None:
+    """Once a writer waits, fresh readers queue behind it."""
+    lock = ReadWriteLock(name="t")
+    order: list[str] = []
+    reader_in = threading.Event()
+    drain = threading.Event()
+
+    def first_reader() -> None:
+        with lock.read():
+            reader_in.set()
+            drain.wait(timeout=5)
+
+    def writer() -> None:
+        with lock.write():
+            order.append("writer")
+
+    def late_reader() -> None:
+        with lock.read():
+            order.append("late-reader")
+
+    r1 = threading.Thread(target=first_reader)
+    r1.start()
+    assert reader_in.wait(timeout=5)
+    w = threading.Thread(target=writer)
+    w.start()
+    time.sleep(0.05)  # let the writer register as waiting
+    r2 = threading.Thread(target=late_reader)
+    r2.start()
+    time.sleep(0.05)
+    # neither has run: writer waits on r1, late reader waits on writer
+    assert order == []
+    drain.set()
+    for t in (r1, w, r2):
+        t.join(timeout=5)
+    assert order == ["writer", "late-reader"]
+
+
+def test_reader_reentry_under_waiting_writer_does_not_deadlock() -> None:
+    """A reader may re-acquire the read lock even while a writer waits.
+
+    Without per-thread hold counts the re-entering reader queues behind
+    the waiting writer, which in turn waits for that same reader — a
+    deadlock.  The re-entry fast path must succeed immediately.
+    """
+    lock = ReadWriteLock(name="t")
+    reader_in = threading.Event()
+    writer_waiting = threading.Event()
+    reentered = threading.Event()
+
+    def reader() -> None:
+        with lock.read():
+            reader_in.set()
+            assert writer_waiting.wait(timeout=5)
+            time.sleep(0.05)  # writer is now queued inside acquire_write
+            with lock.read():  # must not block behind the writer
+                reentered.set()
+
+    def writer() -> None:
+        writer_waiting.set()
+        with lock.write():
+            pass
+
+    r = threading.Thread(target=reader)
+    w = threading.Thread(target=writer)
+    r.start()
+    assert reader_in.wait(timeout=5)
+    w.start()
+    r.join(timeout=5)
+    w.join(timeout=5)
+    assert reentered.is_set()
+    assert not r.is_alive() and not w.is_alive()
+
+
+def test_release_read_without_acquire_raises() -> None:
+    lock = ReadWriteLock(name="t")
+    with pytest.raises(RuntimeError, match="without a matching acquire_read"):
+        lock.release_read()
+
+
+def test_release_read_balance_is_per_thread() -> None:
+    lock = ReadWriteLock(name="t")
+    lock.acquire_read()
+    errors: list[BaseException] = []
+
+    def other_thread_release() -> None:
+        try:
+            lock.release_read()
+        except BaseException as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    t = threading.Thread(target=other_thread_release)
+    t.start()
+    t.join(timeout=5)
+    assert len(errors) == 1 and isinstance(errors[0], RuntimeError)
+    lock.release_read()  # the owning thread's release still balances
+
+
+def test_release_write_without_acquire_raises() -> None:
+    lock = ReadWriteLock(name="t")
+    with pytest.raises(RuntimeError, match="without an active writer"):
+        lock.release_write()
+
+
+def test_release_write_from_wrong_thread_raises() -> None:
+    lock = ReadWriteLock(name="t")
+    lock.acquire_write()
+    errors: list[BaseException] = []
+
+    def other_thread_release() -> None:
+        try:
+            lock.release_write()
+        except BaseException as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    t = threading.Thread(target=other_thread_release)
+    t.start()
+    t.join(timeout=5)
+    assert len(errors) == 1 and isinstance(errors[0], RuntimeError)
+    lock.release_write()
+
+
+def test_write_side_is_not_reentrant() -> None:
+    lock = ReadWriteLock(name="t")
+    with lock.write():
+        with pytest.raises(RuntimeError, match="not re-entrant"):
+            lock.acquire_write()
+
+
+def test_nested_reads_balance() -> None:
+    lock = ReadWriteLock(name="t")
+    with lock.read():
+        with lock.read():
+            pass
+    # fully released: a writer can now acquire without blocking
+    acquired = threading.Event()
+
+    def writer() -> None:
+        with lock.write():
+            acquired.set()
+
+    t = threading.Thread(target=writer)
+    t.start()
+    t.join(timeout=5)
+    assert acquired.is_set()
