@@ -116,10 +116,10 @@ BLOCKING_CALLS = frozenset({
 # KSP004 — nondeterminism in fingerprint-reproducible code paths
 # ----------------------------------------------------------------------
 #: Module-key prefixes whose built artefacts must be bit-reproducible
-#: (the NVD build and the distance oracles: ``structural_fingerprint``
-#: equality across parallel builds and worker rehydration depends on
-#: them being pure functions of their inputs).
-REPRODUCIBLE_PREFIXES = ("nvd/", "distance/")
+#: (the NVD build, the distance oracles, and the CSR search kernels:
+#: ``structural_fingerprint`` equality across parallel builds and worker
+#: rehydration depends on them being pure functions of their inputs).
+REPRODUCIBLE_PREFIXES = ("nvd/", "distance/", "kernels/")
 
 #: Dotted names whose call introduces wall-clock or RNG nondeterminism.
 #: ``random.Random`` (an explicitly seeded instance) is allowed and

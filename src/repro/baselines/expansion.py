@@ -11,6 +11,9 @@ import heapq
 import math
 from typing import Sequence
 
+import numpy as np
+
+from repro import kernels
 from repro.api import (
     Query,
     QueryResult,
@@ -69,21 +72,16 @@ class NetworkExpansion:
         ceiling = self._relevance.max_textual_relevance(keywords, query_impacts)
         if ceiling <= 0.0:
             return []
-        distances = [INFINITY] * self._graph.num_vertices
-        distances[query] = 0.0
-        heap: list[tuple[float, int]] = [(0.0, query)]
         results: list[tuple[float, int]] = []  # max-heap by negation
 
         def threshold() -> float:
             return -results[0][0] if len(results) == k else INFINITY
 
-        neighbors = self._graph.neighbors
-        while heap:
-            dist_v, v = heapq.heappop(heap)
-            if dist_v > distances[v]:
-                continue
+        def score_vertex(v: int, dist_v: float) -> bool:
+            """Score one settled vertex; False once ``d / TR_max`` proves
+            no later vertex can enter the result heap."""
             if dist_v / ceiling >= threshold():
-                break
+                return False
             relevance = self._relevance.textual_relevance(
                 keywords, v, query_impacts
             )
@@ -94,11 +92,35 @@ class NetworkExpansion:
                         heapq.heapreplace(results, (-score, v))
                     else:
                         heapq.heappush(results, (-score, v))
-            for u, w in neighbors(v):
-                candidate = dist_v + w
-                if candidate < distances[u]:
-                    distances[u] = candidate
-                    heapq.heappush(heap, (candidate, u))
+            return True
+
+        if kernels.enabled():
+            # One C-level SSSP, then scan vertices in settle order (a
+            # stable argsort reproduces the heap's (distance, vertex)
+            # tie-breaking) applying the same stopping rule.
+            csr = self._graph.csr()
+            workspace = kernels.get_workspace(csr.num_vertices)
+            all_distances = kernels.sssp(csr, query, workspace)
+            for v in np.argsort(all_distances, kind="stable").tolist():
+                dist_v = float(all_distances[v])
+                if math.isinf(dist_v) or not score_vertex(v, dist_v):
+                    break
+        else:
+            distances = [INFINITY] * self._graph.num_vertices
+            distances[query] = 0.0
+            heap: list[tuple[float, int]] = [(0.0, query)]
+            neighbors = self._graph.neighbors
+            while heap:
+                dist_v, v = heapq.heappop(heap)
+                if dist_v > distances[v]:
+                    continue
+                if not score_vertex(v, dist_v):
+                    break
+                for u, w in neighbors(v):
+                    candidate = dist_v + w
+                    if candidate < distances[u]:
+                        distances[u] = candidate
+                        heapq.heappush(heap, (candidate, u))
         ordered = sorted((-negative, o) for negative, o in results)
         return [(o, s) for s, o in ordered]
 

@@ -33,6 +33,7 @@ from repro.api import (
     stats_to_dict,
     warn_deprecated,
 )
+from repro import kernels
 from repro.core.heap_generator import HeapGenerator
 from repro.core.keyword_index import KeywordSeparatedIndex
 from repro.core.query_processor import QueryProcessor, QueryStats
@@ -81,6 +82,11 @@ class KSpin:
         self.graph = graph
         self.dataset = dataset
         self.oracle = oracle
+        # Materialise the flat-array graph view up front: the build and
+        # every query run over it, and cluster/pool workers forked after
+        # this point share the arrays copy-on-write instead of each
+        # rebuilding them.
+        kernels.warm(graph)
         self.lower_bounder = lower_bounder or AltLowerBounder(graph)
         self.relevance = RelevanceModel(dataset)
         self.index = KeywordSeparatedIndex(

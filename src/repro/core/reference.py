@@ -6,6 +6,11 @@ deliberately simple and obviously correct — the test suite compares
 K-SPIN, G-tree SK, ROAD, and FS-FBS results against them, and the
 benchmarks use them as the "network expansion" baseline the paper
 excludes for being orders of magnitude slower.
+
+"Simple" refers to the logic, not the speed: ``dijkstra_all`` here is
+the dispatching primitive from :mod:`repro.graph.dijkstra`, so with the
+CSR kernels active even the brute-force references run their searches
+in C.
 """
 
 from __future__ import annotations

@@ -4,6 +4,12 @@ Forward searches relax outgoing arcs and compute ``d(source -> .)``;
 reverse searches relax incoming arcs and compute ``d(. -> target)``.
 The directed NVD needs the reverse multi-source variant: every vertex
 labelled with the object it can reach most cheaply.
+
+Like :mod:`repro.graph.dijkstra`, every public function dispatches to
+the CSR kernels when they are active: forward searches run over
+``graph.csr_out()`` and reverse searches run *forward* over the
+transposed ``graph.csr_in()`` view, which is the same trick the python
+code plays with ``in_edges``.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import heapq
 import math
 from typing import Sequence
 
+from repro import kernels
 from repro.directed.graph import DirectedRoadNetwork
 
 INFINITY = math.inf
@@ -19,11 +26,19 @@ INFINITY = math.inf
 
 def forward_dijkstra_all(graph: DirectedRoadNetwork, source: int) -> list[float]:
     """``d(source -> v)`` for every vertex."""
+    if kernels.enabled():
+        csr = graph.csr_out()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return list(kernels.sssp(csr, source, workspace).tolist())
     return _dijkstra(graph, source, reverse=False)
 
 
 def reverse_dijkstra_all(graph: DirectedRoadNetwork, target: int) -> list[float]:
     """``d(v -> target)`` for every vertex (search over incoming arcs)."""
+    if kernels.enabled():
+        # No workspace memo here: the forward memo slot would thrash
+        # against it, and reverse full-scans are not on the query path.
+        return list(kernels.sssp(graph.csr_in(), target).tolist())
     return _dijkstra(graph, target, reverse=True)
 
 
@@ -48,6 +63,10 @@ def directed_distance(graph: DirectedRoadNetwork, source: int, target: int) -> f
     """Point-to-point ``d(source -> target)`` with early termination."""
     if source == target:
         return 0.0
+    if kernels.enabled():
+        csr = graph.csr_out()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return kernels.p2p(csr, source, target, workspace)
     distances = [INFINITY] * graph.num_vertices
     distances[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -78,6 +97,9 @@ def reverse_multi_source(
     """
     if not objects:
         raise ValueError("need at least one object")
+    if kernels.enabled():
+        dist, owner = kernels.multi_source(graph.csr_in(), objects)
+        return list(dist.tolist()), list(owner.tolist())
     distances = [INFINITY] * graph.num_vertices
     owners = [-1] * graph.num_vertices
     heap: list[tuple[float, int, int]] = []

@@ -16,9 +16,12 @@ around ``d(q -> o)``.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.graph.road_network import RoadNetwork, RoadNetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.kernels.csr import CSRGraph
 
 
 class DirectedRoadNetwork:
@@ -34,7 +37,7 @@ class DirectedRoadNetwork:
     []
     """
 
-    __slots__ = ("_out", "_in", "_coordinates", "_num_edges")
+    __slots__ = ("_out", "_in", "_coordinates", "_num_edges", "_csr_out", "_csr_in")
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices <= 0:
@@ -45,6 +48,8 @@ class DirectedRoadNetwork:
             (0.0, 0.0) for _ in range(num_vertices)
         ]
         self._num_edges = 0
+        self._csr_out: CSRGraph | None = None
+        self._csr_in: CSRGraph | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -67,6 +72,8 @@ class DirectedRoadNetwork:
         self._out[u].append((v, float(weight)))
         self._in[v].append((u, float(weight)))
         self._num_edges += 1
+        self._csr_out = None
+        self._csr_in = None
 
     def _replace(self, u: int, v: int, weight: float) -> None:
         for adjacency, key in ((self._out[u], v), (self._in[v], u)):
@@ -74,6 +81,8 @@ class DirectedRoadNetwork:
                 if other == key:
                     adjacency[index] = (key, float(weight))
                     break
+        self._csr_out = None
+        self._csr_in = None
 
     def add_two_way(self, u: int, v: int, weight: float) -> None:
         """Convenience: both directions with the same weight."""
@@ -154,6 +163,40 @@ class DirectedRoadNetwork:
                     seen.add(v)
                     stack.append(v)
         return seen
+
+    def csr_out(self) -> CSRGraph:
+        """Cached CSR view over outgoing arcs (forward searches)."""
+        if self._csr_out is None:
+            from repro.kernels.csr import CSRGraph
+
+            self._csr_out = CSRGraph.from_directed(self, reverse=False)
+        return self._csr_out
+
+    def csr_in(self) -> CSRGraph:
+        """Cached CSR view over incoming arcs (reverse searches run
+        forward over this transposed view)."""
+        if self._csr_in is None:
+            from repro.kernels.csr import CSRGraph
+
+            self._csr_in = CSRGraph.from_directed(self, reverse=True)
+        return self._csr_in
+
+    # CSR caches are derived data; rebuild after unpickling.
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "out": self._out,
+            "in": self._in,
+            "coordinates": self._coordinates,
+            "num_edges": self._num_edges,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self._out = state["out"]  # type: ignore[assignment]
+        self._in = state["in"]  # type: ignore[assignment]
+        self._coordinates = state["coordinates"]  # type: ignore[assignment]
+        self._num_edges = int(state["num_edges"])  # type: ignore[arg-type]
+        self._csr_out = None
+        self._csr_in = None
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < len(self._out):

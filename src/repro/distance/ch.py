@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 import math
 
+from repro import kernels
 from repro.distance.base import DistanceOracle
 from repro.graph.road_network import RoadNetwork
 
@@ -163,10 +164,17 @@ class ContractionHierarchy(DistanceOracle):
         Uses the standard CH termination: a direction stops once its
         queue minimum meets the best meeting-point distance found so
         far (every later meeting through that side can only be worse).
+
+        Unless ``REPRO_KERNELS=python`` forces the dict-based reference
+        implementation, the search runs over the calling thread's
+        generation-stamped :class:`~repro.kernels.SearchWorkspace` flat
+        buffers — O(1) reset between queries, no per-query dict churn.
         """
         self.query_count += 1
         if source == target:
             return 0.0
+        if kernels.flat_buffers_enabled():
+            return self._distance_stamped(source, target)
         dist = ({source: 0.0}, {target: 0.0})
         heaps: tuple[list[tuple[float, int]], list[tuple[float, int]]] = (
             [(0.0, source)],
@@ -193,6 +201,59 @@ class ContractionHierarchy(DistanceOracle):
                     candidate = dist_u + weight
                     if candidate < own.get(v, INFINITY) and candidate < best:
                         own[v] = candidate
+                        heapq.heappush(heap, (candidate, v))
+        return best
+
+    def _distance_stamped(self, source: int, target: int) -> float:
+        """The upward search over preallocated stamped buffers.
+
+        Identical relaxation and termination logic to the dict body in
+        :meth:`distance`; a buffer slot counts as "unreached" unless its
+        stamp equals the workspace's current generation.  The workspace
+        comes from the per-thread registry, so concurrent queries never
+        share scratch and the oracle itself stays pickle-friendly
+        (no captured buffers or thread-locals on the instance).
+        """
+        workspace = kernels.get_workspace(self._n)
+        generation = workspace.begin()
+        forward = workspace.stamped(0)
+        backward = workspace.stamped(1)
+        values = (forward[0], backward[0])
+        stamps = (forward[1], backward[1])
+        values[0][source] = 0.0
+        stamps[0][source] = generation
+        values[1][target] = 0.0
+        stamps[1][target] = generation
+        heaps: tuple[list[tuple[float, int]], list[tuple[float, int]]] = (
+            [(0.0, source)],
+            [(0.0, target)],
+        )
+        best = INFINITY
+        upward = self._upward
+        while heaps[0] or heaps[1]:
+            for side in (0, 1):
+                heap = heaps[side]
+                if not heap:
+                    continue
+                dist_u, u = heapq.heappop(heap)
+                if dist_u >= best:
+                    heap.clear()  # no better meeting via this direction
+                    continue
+                own_values, own_stamps = values[side], stamps[side]
+                if dist_u > own_values[u]:  # stale heap entry
+                    continue
+                other_values, other_stamps = values[1 - side], stamps[1 - side]
+                if other_stamps[u] == generation:
+                    meeting = dist_u + other_values[u]
+                    if meeting < best:
+                        best = meeting
+                for v, weight in upward[u]:
+                    candidate = dist_u + weight
+                    if candidate < best and (
+                        own_stamps[v] != generation or candidate < own_values[v]
+                    ):
+                        own_values[v] = candidate
+                        own_stamps[v] = generation
                         heapq.heappush(heap, (candidate, v))
         return best
 

@@ -3,6 +3,16 @@
 These are the "no pre-processing" end of the trade-off spectrum the
 paper's Network Distance Module spans.  They also serve as the ground
 truth every indexed oracle is tested against.
+
+Both oracles delegate to :mod:`repro.graph.dijkstra`, so under the CSR
+kernels their searches run in C over the calling thread's
+:class:`~repro.kernels.SearchWorkspace`.  The workspace's one-slot SSSP
+memo is what makes them fast on the refinement path: the query
+processor asks ``distance(query, candidate)`` with the *same* source
+for every candidate, so one search amortises over the whole candidate
+set.  Because the workspace lives in a per-thread registry — never on
+the oracle — the oracles stay stateless, thread-safe, and picklable
+(cluster snapshots ship them as-is).
 """
 
 from __future__ import annotations
@@ -13,7 +23,12 @@ from repro.graph.road_network import RoadNetwork
 
 
 class DijkstraOracle(DistanceOracle):
-    """Exact distances by early-terminating Dijkstra; no index at all."""
+    """Exact distances by early-terminating Dijkstra; no index at all.
+
+    (Under the CSR kernels the early exit becomes a memoised full SSSP
+    — see the module docstring; ``REPRO_KERNELS=python`` restores the
+    literal early-terminating search.)
+    """
 
     name = "Dijkstra"
 

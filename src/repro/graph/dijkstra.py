@@ -2,17 +2,24 @@
 
 These routines back the exact reference oracle, NVD construction
 (multi-source Dijkstra), ALT landmark tables (single-source Dijkstra),
-and the bidirectional baseline.  They are written against the raw
-adjacency lists for speed; everything else in the repository reuses them
-rather than re-implementing graph searches.
+and the bidirectional baseline.  Everything else in the repository
+reuses them rather than re-implementing graph searches.
+
+Each public function is a dispatcher: when the CSR kernels are active
+(``REPRO_KERNELS`` — see :mod:`repro.kernels`) the search runs over the
+graph's cached flat-array view in C; otherwise the pure-Python
+list-based body below runs.  The python bodies are the semantic
+reference — the kernels' property tests compare against them — so they
+are kept verbatim, not as dead code.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
+from repro import kernels
 from repro.graph.road_network import RoadNetwork
 
 INFINITY = math.inf
@@ -20,6 +27,10 @@ INFINITY = math.inf
 
 def dijkstra_all(graph: RoadNetwork, source: int) -> list[float]:
     """Distances from ``source`` to every vertex (``inf`` if unreachable)."""
+    if kernels.enabled():
+        csr = graph.csr()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return list(kernels.sssp(csr, source, workspace).tolist())
     distances = [INFINITY] * graph.num_vertices
     distances[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -37,9 +48,18 @@ def dijkstra_all(graph: RoadNetwork, source: int) -> list[float]:
 
 
 def dijkstra_distance(graph: RoadNetwork, source: int, target: int) -> float:
-    """Point-to-point distance with early termination at ``target``."""
+    """Point-to-point distance with early termination at ``target``.
+
+    The CSR path trades the early exit for a memoised full SSSP: the
+    refinement loop asks for many targets from one source, so the first
+    call pays one C-level search and the rest are O(1) lookups.
+    """
     if source == target:
         return 0.0
+    if kernels.enabled():
+        csr = graph.csr()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return kernels.p2p(csr, source, target, workspace)
     distances = [INFINITY] * graph.num_vertices
     distances[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -62,6 +82,10 @@ def dijkstra_to_targets(
     graph: RoadNetwork, source: int, targets: Iterable[int]
 ) -> dict[int, float]:
     """Distances from ``source`` to each target, stopping once all are settled."""
+    if kernels.enabled():
+        csr = graph.csr()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return kernels.to_targets(csr, source, targets, workspace)
     remaining = set(targets)
     result: dict[int, float] = {}
     if source in remaining:
@@ -110,6 +134,9 @@ def multi_source_dijkstra(
     """
     if not sources:
         raise ValueError("multi_source_dijkstra needs at least one source")
+    if kernels.enabled():
+        dist, owner = kernels.multi_source(graph.csr(), sources)
+        return list(dist.tolist()), list(owner.tolist())
     distances = [INFINITY] * graph.num_vertices
     owners = [-1] * graph.num_vertices
     heap: list[tuple[float, int, int]] = []
@@ -133,9 +160,18 @@ def multi_source_dijkstra(
 
 
 def bidirectional_dijkstra(graph: RoadNetwork, source: int, target: int) -> float:
-    """Point-to-point distance by meeting forward and backward searches."""
+    """Point-to-point distance by meeting forward and backward searches.
+
+    Under the CSR kernels this baseline routes to the same memoised SSSP
+    as :func:`dijkstra_distance`: the C search beats a python meet-in-
+    the-middle outright, and repeated same-source calls become O(1).
+    """
     if source == target:
         return 0.0
+    if kernels.enabled():
+        csr = graph.csr()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return kernels.p2p(csr, source, target, workspace)
     dist_f = {source: 0.0}
     dist_b = {target: 0.0}
     heap_f: list[tuple[float, int]] = [(0.0, source)]
@@ -193,16 +229,22 @@ def network_expansion_knn(
     graph: RoadNetwork,
     source: int,
     k: int,
-    is_match,
+    is_match: Callable[[int], bool],
 ) -> list[tuple[int, float]]:
     """Incremental network expansion: the classic kNN baseline.
 
     Expands Dijkstra from ``source`` and collects the first ``k`` settled
     vertices for which ``is_match(vertex)`` is true.  Returns
-    ``[(vertex, distance)]`` sorted by distance.
+    ``[(vertex, distance)]`` sorted by distance (ties by vertex id, the
+    heap's settle order — the CSR kernel reproduces this via a stable
+    argsort).
     """
     if k <= 0:
         return []
+    if kernels.enabled():
+        csr = graph.csr()
+        workspace = kernels.get_workspace(csr.num_vertices)
+        return kernels.match_scan(csr, source, k, is_match, workspace)
     distances = [INFINITY] * graph.num_vertices
     distances[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]

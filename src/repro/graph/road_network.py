@@ -13,7 +13,10 @@ showed to be the fastest pure-Python layout for Dijkstra-style scans.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.kernels.csr import CSRGraph
 
 
 class RoadNetworkError(ValueError):
@@ -37,7 +40,7 @@ class RoadNetwork:
     [(0, 2.0), (2, 3.0)]
     """
 
-    __slots__ = ("_adjacency", "_coordinates", "_num_edges")
+    __slots__ = ("_adjacency", "_coordinates", "_num_edges", "_csr")
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices <= 0:
@@ -49,6 +52,7 @@ class RoadNetwork:
             (0.0, 0.0) for _ in range(num_vertices)
         ]
         self._num_edges = 0
+        self._csr: CSRGraph | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -75,6 +79,7 @@ class RoadNetwork:
         self._adjacency[u].append((v, float(weight)))
         self._adjacency[v].append((u, float(weight)))
         self._num_edges += 1
+        self._csr = None
 
     def set_coordinates(self, v: int, x: float, y: float) -> None:
         """Attach planar coordinates to vertex ``v`` (used by quadtrees)."""
@@ -87,6 +92,7 @@ class RoadNetwork:
                 if neighbor == other:
                     adjacency[index] = (other, float(weight))
                     break
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Inspection
@@ -171,6 +177,37 @@ class RoadNetwork:
         return {
             u: [(v, w) for v, w in self._adjacency[u] if v in keep] for u in keep
         }
+
+    def csr(self) -> CSRGraph:
+        """The cached flat-array (CSR) view of this graph.
+
+        Built lazily on first use and invalidated by every mutation
+        (:meth:`add_edge`, weight replacement), so a returned view is a
+        consistent immutable snapshot.  Anything keyed on the view's
+        object identity (workspace SSSP memos) is therefore invalidated
+        for free when the graph changes.
+        """
+        if self._csr is None:
+            from repro.kernels.csr import CSRGraph
+
+            self._csr = CSRGraph.from_road_network(self)
+        return self._csr
+
+    # The CSR cache is derived data: exclude it from pickles so worker
+    # snapshots stay small and each process rebuilds (or pre-warms via
+    # ``repro.kernels.warm``) its own view.
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "adjacency": self._adjacency,
+            "coordinates": self._coordinates,
+            "num_edges": self._num_edges,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self._adjacency = state["adjacency"]  # type: ignore[assignment]
+        self._coordinates = state["coordinates"]  # type: ignore[assignment]
+        self._num_edges = int(state["num_edges"])  # type: ignore[arg-type]
+        self._csr = None
 
     def memory_bytes(self) -> int:
         """Approximate in-memory footprint of the graph structure.

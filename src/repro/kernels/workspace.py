@@ -1,0 +1,141 @@
+"""Reusable, generation-stamped search workspaces.
+
+A :class:`SearchWorkspace` owns the mutable scratch state a search
+needs, so the hot path performs no O(|V|) allocation per query:
+
+* **Stamped flat buffers** for label-setting searches (the contraction
+  hierarchy's bidirectional query): a ``values`` list plus a parallel
+  ``stamps`` list of generation numbers.  ``begin()`` bumps the
+  generation; a slot whose stamp is stale *is* "infinity", so resetting
+  between queries costs O(1) instead of O(|V|).
+* **A one-slot SSSP memo** for the CSR kernels: the distance array of
+  the most recent single-source run, keyed on ``(CSRGraph, source)``.
+  The exact-distance refinement step asks for ``d(query, c)`` once per
+  candidate with the *same* query vertex, so one SSSP plus O(1) lookups
+  replaces a point-to-point search per candidate.  The key holds the
+  CSR view by identity: graph mutation installs a fresh ``CSRGraph``,
+  so stale hits are impossible by construction.
+
+Workspaces are intentionally **not** thread-safe — the whole point is
+unguarded mutation on the hot path.  :func:`get_workspace` therefore
+hands every thread (serve worker, pool thread) its own instance via a
+``threading.local`` registry, which keeps the KSP002 shared-state lint
+rule honest: no buffer is ever visible to two threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.csr import CSRGraph
+
+#: Stamp value meaning "never touched" (generation counters start at 1).
+_NEVER = 0
+
+
+class SearchWorkspace:
+    """Per-thread scratch buffers for repeated searches on one graph size."""
+
+    __slots__ = (
+        "num_vertices",
+        "generation",
+        "_stamped",
+        "_memo_key",
+        "_memo_dist",
+        "sssp_runs",
+        "sssp_hits",
+    )
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices <= 0:
+            raise ValueError("workspace needs at least one vertex slot")
+        self.num_vertices = num_vertices
+        self.generation = _NEVER
+        #: side -> (values, stamps); allocated on first use per side.
+        self._stamped: dict[int, tuple[list[float], list[int]]] = {}
+        self._memo_key: tuple[CSRGraph, int] | None = None
+        self._memo_dist: Any = None
+        self.sssp_runs = 0
+        self.sssp_hits = 0
+
+    # ------------------------------------------------------------------
+    # Stamped flat buffers (python-side label-setting searches)
+    # ------------------------------------------------------------------
+    def begin(self) -> int:
+        """Start a new search: bump and return the generation stamp.
+
+        Every buffer slot written during the previous search becomes
+        logically infinite again, without touching memory.
+        """
+        self.generation += 1
+        return self.generation
+
+    def stamped(self, side: int = 0) -> tuple[list[float], list[int]]:
+        """The ``side``-th ``(values, stamps)`` buffer pair.
+
+        Bidirectional searches use sides 0 (forward) and 1 (backward).
+        A slot ``v`` holds a live value only when
+        ``stamps[v] == self.generation``.
+        """
+        pair = self._stamped.get(side)
+        if pair is None:
+            pair = ([0.0] * self.num_vertices, [_NEVER] * self.num_vertices)
+            self._stamped[side] = pair
+        return pair
+
+    # ------------------------------------------------------------------
+    # SSSP memo (CSR kernels)
+    # ------------------------------------------------------------------
+    def cached_sssp(self, csr: CSRGraph, source: int) -> Any | None:
+        """The memoised distance array for ``(csr, source)``, or ``None``.
+
+        Treat the returned array as read-only; it is reused verbatim by
+        every lookup until a different ``(csr, source)`` is stored.
+        """
+        if self._memo_key is not None:
+            key_csr, key_source = self._memo_key
+            if key_csr is csr and key_source == source:
+                self.sssp_hits += 1
+                return self._memo_dist
+        return None
+
+    def store_sssp(self, csr: CSRGraph, source: int, distances: Any) -> Any:
+        """Memoise ``distances`` for ``(csr, source)`` and return it."""
+        self._memo_dist = np.ascontiguousarray(distances, dtype=np.float64)
+        self._memo_key = (csr, source)
+        self.sssp_runs += 1
+        return self._memo_dist
+
+    def invalidate(self) -> None:
+        """Drop the SSSP memo and reset stamps (tests; not needed on the
+        hot path — identity keys and generations already prevent reuse)."""
+        self._memo_key = None
+        self._memo_dist = None
+        self.generation = _NEVER
+        self._stamped.clear()
+
+
+class _Registry(threading.local):
+    """Per-thread workspace pool, keyed by graph size."""
+
+    def __init__(self) -> None:
+        self.by_size: dict[int, SearchWorkspace] = {}
+
+
+_REGISTRY = _Registry()
+
+
+def get_workspace(num_vertices: int) -> SearchWorkspace:
+    """The calling thread's workspace for graphs of ``num_vertices``.
+
+    Each thread owns its buffers outright — two threads can never
+    receive the same :class:`SearchWorkspace` instance.
+    """
+    workspace = _REGISTRY.by_size.get(num_vertices)
+    if workspace is None:
+        workspace = SearchWorkspace(num_vertices)
+        _REGISTRY.by_size[num_vertices] = workspace
+    return workspace

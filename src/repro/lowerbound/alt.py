@@ -53,34 +53,43 @@ class AltLowerBounder(LowerBounder):
         if num_landmarks < 1:
             raise ValueError("need at least one landmark")
         num_landmarks = min(num_landmarks, graph.num_vertices)
-        self.landmarks = self._select_landmarks(graph, num_landmarks, seed)
-        table = np.empty((num_landmarks, graph.num_vertices), dtype=np.float64)
-        for row, landmark in enumerate(self.landmarks):
-            table[row, :] = dijkstra_all(graph, landmark)
+        # Selection already runs one SSSP per chosen landmark; keep those
+        # rows instead of recomputing the whole table afterwards.
+        self.landmarks, rows = self._select_landmarks(graph, num_landmarks, seed)
+        table = np.asarray(rows, dtype=np.float64)
         # Disconnected vertices would poison the arithmetic with inf - inf.
         table[~np.isfinite(table)] = np.nan
         self._table = table
 
     @staticmethod
-    def _select_landmarks(graph: RoadNetwork, count: int, seed: int) -> list[int]:
-        """Farthest-point landmark selection."""
+    def _select_landmarks(
+        graph: RoadNetwork, count: int, seed: int
+    ) -> tuple[list[int], list[list[float]]]:
+        """Farthest-point landmark selection, returning the distance rows.
+
+        Each landmark's full SSSP drives the next farthest-point choice
+        *and* becomes its table row, so the table costs ``m + 1``
+        searches total instead of ``2m``.
+        """
         rng = random.Random(seed)
         first = rng.randrange(graph.num_vertices)
         # The first *chosen* landmark is the vertex farthest from a random
         # start, pushing it to the periphery.
         distances = dijkstra_all(graph, first)
         landmarks = [max(graph.vertices(), key=lambda v: _finite(distances[v]))]
-        min_distance = [_finite(d) for d in dijkstra_all(graph, landmarks[0])]
+        rows = [dijkstra_all(graph, landmarks[0])]
+        min_distance = [_finite(d) for d in rows[0]]
         while len(landmarks) < count:
             candidate = max(graph.vertices(), key=lambda v: min_distance[v])
             if candidate in landmarks:  # graph smaller than landmark count
                 break
             landmarks.append(candidate)
-            for v, d in enumerate(dijkstra_all(graph, candidate)):
+            rows.append(dijkstra_all(graph, candidate))
+            for v, d in enumerate(rows[-1]):
                 d = _finite(d)
                 if d < min_distance[v]:
                     min_distance[v] = d
-        return landmarks
+        return landmarks, rows
 
     def lower_bound(self, u: int, v: int) -> float:
         """``max_l |d(l,u) - d(l,v)|`` — always ``<= d(u, v)``."""
@@ -93,14 +102,19 @@ class AltLowerBounder(LowerBounder):
         return float(finite.max())
 
     def lower_bounds_to_many(self, u: int, others: list[int]) -> list[float]:
-        """Vectorised ``lower_bound(u, v)`` for many ``v`` at once."""
+        """Vectorised ``lower_bound(u, v)`` for many ``v`` at once.
+
+        This is the heap-seeding hot path: one fancy-indexed slice and
+        one reduction for the whole batch, instead of a numpy round-trip
+        per pair.
+        """
         if not others:
             return []
         column = self._table[:, u][:, None]
         differences = np.abs(self._table[:, others] - column)
         # nan entries mark landmark rows that cannot bound this pair.
         bounds = np.max(np.nan_to_num(differences, nan=0.0), axis=0)
-        return [float(b) for b in bounds]
+        return list(bounds.tolist())
 
     def memory_bytes(self) -> int:
         return int(self._table.nbytes)

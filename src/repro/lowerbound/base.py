@@ -20,6 +20,16 @@ class LowerBounder(abc.ABC):
     def lower_bound(self, u: int, v: int) -> float:
         """A value guaranteed to be ``<= d(u, v)``."""
 
+    def lower_bounds_to_many(self, u: int, others: list[int]) -> list[float]:
+        """``lower_bound(u, v)`` for every ``v`` in ``others``.
+
+        The inverted heaps call this once per seed set / LazyReheap
+        expansion instead of once per pair.  Subclasses with a
+        vectorisable table (ALT) override it; this default is the
+        scalar loop, so any bounder stays batch-compatible.
+        """
+        return [self.lower_bound(u, v) for v in others]
+
     @abc.abstractmethod
     def memory_bytes(self) -> int:
         """Approximate index footprint in bytes."""

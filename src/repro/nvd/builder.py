@@ -22,6 +22,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import kernels
 from repro.graph.road_network import RoadNetwork
 from repro.nvd.approximate import ApproximateNVD
 from repro.text.documents import KeywordDataset
@@ -143,6 +144,10 @@ def build_keyword_nvds(
     tasks = [
         (keyword, dataset.inverted_list(keyword)) for keyword in dataset.keywords()
     ]
+    # Build the CSR view once, before any fork: every per-keyword NVD
+    # reads it, and pool children inherit the parent's arrays
+    # copy-on-write instead of rebuilding them per process.
+    kernels.warm(graph)
     if progress is not None:
         progress.begin(len(tasks))
     try:

@@ -18,6 +18,9 @@ K-SPIN actually keeps:
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import kernels
 from repro.graph.dijkstra import multi_source_dijkstra
 from repro.graph.road_network import RoadNetwork
 
@@ -55,15 +58,54 @@ class NetworkVoronoiDiagram:
         self._distances = distances
         self.adjacency: dict[int, set[int]] = {o: set() for o in self.objects}
         self.max_radius: dict[int, float] = {o: 0.0 for o in self.objects}
-        for u, v, _ in graph.edges():
-            owner_u, owner_v = owners[u], owners[v]
-            if owner_u != owner_v and owner_u >= 0 and owner_v >= 0:
+        if kernels.enabled():
+            self._derive_artefacts_csr(graph, distances, owners)
+        else:
+            for u, v, _ in graph.edges():
+                owner_u, owner_v = owners[u], owners[v]
+                if owner_u != owner_v and owner_u >= 0 and owner_v >= 0:
+                    self.adjacency[owner_u].add(owner_v)
+                    self.adjacency[owner_v].add(owner_u)
+            for v in graph.vertices():
+                owner = owners[v]
+                if owner >= 0 and distances[v] > self.max_radius[owner]:
+                    self.max_radius[owner] = distances[v]
+
+    def _derive_artefacts_csr(
+        self, graph: RoadNetwork, distances: list[float], owners: list[int]
+    ) -> None:
+        """Vectorised adjacency-graph and MaxRadius derivation.
+
+        Instead of walking every edge in python, label each stored arc
+        with its endpoints' owners and reduce: boundary arcs (owners
+        differ, both reachable) become adjacency pairs after a
+        ``np.unique``; a scatter-max over owned vertices gives
+        MaxRadius.  Results are identical to the python loops — the
+        adjacency sets and radius dict are order-insensitive.
+        """
+        csr = graph.csr()
+        owner_arr = np.asarray(owners, dtype=np.int64)
+        dist_arr = np.asarray(distances, dtype=np.float64)
+        tails = np.repeat(
+            np.arange(csr.num_vertices, dtype=np.int64), np.diff(csr.indptr)
+        )
+        tail_owner = owner_arr[tails]
+        head_owner = owner_arr[csr.indices]
+        boundary = (tail_owner != head_owner) & (tail_owner >= 0) & (head_owner >= 0)
+        if bool(boundary.any()):
+            pairs = np.unique(
+                np.stack([tail_owner[boundary], head_owner[boundary]], axis=1),
+                axis=0,
+            )
+            # Undirected graphs store both arcs, so each pair already
+            # appears in both orientations; add them as they come.
+            for owner_u, owner_v in pairs.tolist():
                 self.adjacency[owner_u].add(owner_v)
-                self.adjacency[owner_v].add(owner_u)
-        for v in graph.vertices():
-            owner = owners[v]
-            if owner >= 0 and distances[v] > self.max_radius[owner]:
-                self.max_radius[owner] = distances[v]
+        owned = (owner_arr >= 0) & np.isfinite(dist_arr)
+        radius = np.zeros(csr.num_vertices, dtype=np.float64)
+        np.maximum.at(radius, owner_arr[owned], dist_arr[owned])
+        for o in self.objects:
+            self.max_radius[o] = float(radius[o])
 
     def owner(self, vertex: int) -> int:
         """The generator object owning ``vertex`` (its network 1NN);
