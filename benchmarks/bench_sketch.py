@@ -1,0 +1,253 @@
+"""Sketch subsystem acceptance: error bounds and routing equivalence.
+
+Two halves, both asserted (CI runs this with ``--smoke``):
+
+* **Structure accuracy** — a Bloom filter built at a configured
+  false-positive bound is probed with thousands of absent keys and the
+  *measured* FP rate must stay under ``2x`` the configured bound; the
+  HyperLogLog's estimates over a cardinality ladder must stay inside a
+  conservative multiple of its standard error; the lossy counter's
+  estimates must obey ``est <= true <= est + eps*N``.
+
+* **Routing equivalence ladder** — the same Zipf workload (salted with
+  queries naming keywords that do not exist, as real traffic does) is
+  driven through two shard-by-keyword clusters: one with sketch routing
+  on, one with it off.  Results must be identical query by query —
+  Bloom filters have no false negatives, so pruning is exact — while
+  the sketch-routed cluster must dispatch to *strictly fewer* shards.
+
+Writes ``benchmarks/results/sketch.json``.
+"""
+
+import argparse
+
+from repro.api import Query
+from repro.bench import save_result
+from repro.core import KSpin
+from repro.datasets import WorkloadGenerator, load_dataset
+from repro.distance import ContractionHierarchy
+from repro.lowerbound import AltLowerBounder
+from repro.serve import ClusterCoordinator
+from repro.sketch import BloomFilter, HyperLogLog, LossyCounter
+
+DATASET = "DE-S"
+WORKER_LADDER = [2, 4]
+SMOKE_WORKER_LADDER = [2]
+REQUESTS = 120
+SMOKE_REQUESTS = 48
+NUM_TERMS = 2
+K = 10
+FP_BOUND = 0.01
+ABSENT_PROBES = 4000
+HLL_PRECISION = 12
+HLL_LADDER = [100, 1000, 5000]
+
+
+def check_bloom_fp() -> dict:
+    """Measured FP rate of a filter at its configured capacity."""
+    capacity = 2000
+    bloom = BloomFilter.with_capacity(capacity, fp_rate=FP_BOUND)
+    for i in range(capacity):
+        bloom.add(f"present-{i}")
+    false_hits = sum(
+        1 for i in range(ABSENT_PROBES) if f"absent-{i}" in bloom
+    )
+    measured = false_hits / ABSENT_PROBES
+    assert measured <= 2.0 * FP_BOUND, (
+        f"measured Bloom FP {measured:.4f} exceeds 2x the configured "
+        f"bound {FP_BOUND}"
+    )
+    # No false negatives, ever — the property shard skipping rests on.
+    assert all(f"present-{i}" in bloom for i in range(capacity))
+    return {
+        "capacity": capacity,
+        "configured_fp": FP_BOUND,
+        "measured_fp": measured,
+        "fill_ratio": bloom.fill_ratio(),
+    }
+
+
+def check_hll_accuracy() -> dict:
+    """Relative error across a cardinality ladder vs the 1.04/sqrt(m) s.e."""
+    rows = []
+    for true in HLL_LADDER:
+        hll = HyperLogLog(precision=HLL_PRECISION)
+        for i in range(true):
+            hll.add(f"item-{true}-{i}")
+        estimate = hll.cardinality()
+        error = abs(estimate - true) / true
+        # 5 standard errors: conservative enough to never flake, tight
+        # enough to catch a broken register/rank computation instantly.
+        assert error <= 5.0 * hll.relative_error(), (
+            f"HLL error {error:.4f} at n={true} exceeds 5x standard "
+            f"error {hll.relative_error():.4f}"
+        )
+        rows.append({"true": true, "estimate": estimate, "error": error})
+    return {
+        "precision": HLL_PRECISION,
+        "standard_error": 1.04 / (2 ** (HLL_PRECISION / 2)),
+        "ladder": rows,
+    }
+
+
+def check_lossy_bounds() -> dict:
+    """est <= true <= est + eps*N over a skewed synthetic stream."""
+    epsilon = 0.01
+    counter = LossyCounter(epsilon=epsilon)
+    true_counts: dict[str, int] = {}
+    # Zipf-ish: item j appears ~N/(j+1) times, interleaved.
+    for round_no in range(400):
+        for j in range(40):
+            if round_no % (j + 1) == 0:
+                item = f"kw-{j}"
+                counter.add(item)
+                true_counts[item] = true_counts.get(item, 0) + 1
+    bound = counter.error_bound()
+    for item, true in true_counts.items():
+        estimate = counter.estimate(item)
+        assert estimate <= true <= estimate + bound, (
+            f"lossy bound violated for {item}: est={estimate} "
+            f"true={true} bound={bound}"
+        )
+    return {
+        "epsilon": epsilon,
+        "observed": counter.observed,
+        "tracked": len(counter),
+        "error_bound": bound,
+    }
+
+
+def _workload(world, requests: int) -> list[Query]:
+    """Zipf queries salted with keywords that do not exist.
+
+    Every third query gains a missing disjunctive keyword (its owner
+    shard would be dispatched to for nothing without sketches); every
+    fifth becomes conjunctive *on* a missing keyword (provably empty —
+    sketch routing answers without any dispatch at all).
+    """
+    generator = WorkloadGenerator(world.graph, world.keywords, seed=11)
+    base = generator.zipf_queries(NUM_TERMS, requests, num_distinct=24)
+    queries = []
+    for i, item in enumerate(base):
+        keywords = item.keywords
+        conjunctive = False
+        if i % 3 == 0:
+            keywords = keywords + (f"zz-miss-{i}",)
+        if i % 5 == 0:
+            conjunctive = True
+        mode = "and" if conjunctive else "or"
+        queries.append(
+            Query(vertex=item.vertex, keywords=keywords, k=K, mode=mode)
+        )
+    return queries
+
+
+def run_routing_ladder(requests: int, ladder: list[int]) -> list[dict]:
+    world = load_dataset(DATASET)
+    kspin = KSpin(
+        world.graph,
+        world.keywords,
+        oracle=ContractionHierarchy(world.graph),
+        lower_bounder=AltLowerBounder(world.graph, num_landmarks=4),
+    )
+    queries = _workload(world, requests)
+
+    rungs = []
+    for workers in ladder:
+        answers: dict[bool, list] = {}
+        counters: dict[bool, dict] = {}
+        for sketch_routing in (False, True):
+            with ClusterCoordinator(
+                kspin,
+                num_workers=workers,
+                placement="shard-by-keyword",
+                cache_size=0,
+                health_interval=5.0,
+                sketch_routing=sketch_routing,
+            ) as cluster:
+                answers[sketch_routing] = [
+                    cluster.execute(q).pairs() for q in queries
+                ]
+                snap = cluster.metrics_snapshot()["cluster"]
+                counters[sketch_routing] = {
+                    "dispatches": snap["dispatches"],
+                    "skipped": snap["sketch_skipped_shards"],
+                    "short_circuits": snap["sketch_short_circuits"],
+                }
+        # Bit-identical merged results: Bloom "no" is proof of absence,
+        # so pruning must never change a single (object, value) pair.
+        for full, routed, query in zip(
+            answers[False], answers[True], queries
+        ):
+            assert full == routed, (
+                f"sketch routing diverged from full scatter-gather on "
+                f"{query}: {routed} != {full}"
+            )
+        plain = counters[False]["dispatches"]
+        routed_n = counters[True]["dispatches"]
+        assert routed_n < plain, (
+            f"sketch routing did not reduce dispatches at {workers} "
+            f"workers: {routed_n} vs {plain}"
+        )
+        rung = {
+            "workers": workers,
+            "requests": len(queries),
+            "dispatches_full": plain,
+            "dispatches_sketch": routed_n,
+            "skipped_shards": counters[True]["skipped"],
+            "short_circuits": counters[True]["short_circuits"],
+            "dispatch_reduction": 1.0 - routed_n / plain if plain else 0.0,
+        }
+        rungs.append(rung)
+        print(
+            f"  x{workers} workers: {plain} dispatches full scatter, "
+            f"{routed_n} sketch-routed "
+            f"({rung['dispatch_reduction'] * 100:.1f}% fewer; "
+            f"{rung['short_circuits']} short-circuits, "
+            f"{rung['skipped_shards']} shards skipped)"
+        )
+    return rungs
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    requests = SMOKE_REQUESTS if smoke else REQUESTS
+    ladder = SMOKE_WORKER_LADDER if smoke else WORKER_LADDER
+    bloom = check_bloom_fp()
+    print(f"  Bloom: measured FP {bloom['measured_fp']:.4f} "
+          f"(bound {FP_BOUND}, gate 2x)")
+    hll = check_hll_accuracy()
+    worst = max(r["error"] for r in hll["ladder"])
+    print(f"  HLL p={HLL_PRECISION}: worst relative error "
+          f"{worst * 100:.2f}% (s.e. {hll['standard_error'] * 100:.2f}%)")
+    lossy = check_lossy_bounds()
+    print(f"  Lossy counter: {lossy['tracked']} tracked over "
+          f"{lossy['observed']} observations, bound {lossy['error_bound']}")
+    rungs = run_routing_ladder(requests, ladder)
+    payload = {
+        "dataset": DATASET,
+        "bloom": bloom,
+        "hll": hll,
+        "lossy": lossy,
+        "routing_ladder": rungs,
+        "smoke": smoke,
+    }
+    save_result("sketch", payload)
+    return payload
+
+
+def test_sketch_bench():
+    payload = run_benchmark(smoke=True)
+    assert payload["bloom"]["measured_fp"] <= 2.0 * FP_BOUND
+    for rung in payload["routing_ladder"]:
+        assert rung["dispatches_sketch"] < rung["dispatches_full"]
+        assert rung["short_circuits"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast pass with a reduced ladder")
+    args = parser.parse_args()
+    print(f"Sketch error bounds and routing equivalence over {DATASET}")
+    run_benchmark(smoke=args.smoke)
+    print("wrote benchmarks/results/sketch.json")

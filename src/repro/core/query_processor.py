@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.heap_generator import HeapGenerator, InvertedHeap
 from repro.core.keyword_index import KeywordSeparatedIndex
@@ -116,6 +116,15 @@ class QueryProcessor:
         The Network Distance Module (any exact technique).
     heap_generator:
         Factory for on-demand inverted heaps.
+    selectivity:
+        Optional ``keyword -> estimated |inv(t)|`` hook (an
+        :class:`~repro.sketch.registry.IndexSketches` cardinality
+        estimate).  Used only to *rank* keywords by rarity for the
+        conjunctive planner, so the ranking never walks live-object
+        sets; a mis-ranking costs speed, never correctness.  An
+        estimate of 0 is trusted as proof of emptiness — the HLL
+        no-false-zero invariant: a keyword estimating 0 was never
+        inserted, hence provably matches nothing.
     """
 
     def __init__(
@@ -125,13 +134,21 @@ class QueryProcessor:
         relevance: RelevanceModel,
         oracle: DistanceOracle,
         heap_generator: HeapGenerator,
+        selectivity: "Callable[[str], int] | None" = None,
     ) -> None:
         self._graph = graph
         self._index = index
         self._relevance = relevance
         self._oracle = oracle
         self._heap_generator = heap_generator
+        self._selectivity = selectivity
         self.last_stats = QueryStats()
+
+    def _estimated_size(self, keyword: str) -> int:
+        """Estimated ``|inv(t)|`` — sketch-backed when a hook is set."""
+        if self._selectivity is not None:
+            return self._selectivity(keyword)
+        return self._index.inverted_size(keyword)
 
     # ------------------------------------------------------------------
     # Boolean kNN
@@ -197,12 +214,17 @@ class QueryProcessor:
     ) -> list[tuple[int, float]]:
         """§4.1.2: scan only the least frequent keyword's heap."""
         stats = QueryStats()
-        sizes = {t: self._index.inverted_size(t) for t in keywords}
+        sizes = {t: self._estimated_size(t) for t in keywords}
         if any(size == 0 for size in sizes.values()):
             self.last_stats = stats
             return []  # some keyword matches no object at all
         rare = min(keywords, key=lambda t: (sizes[t], t))
         heaps = self._create_heaps(query, [rare], stats)
+        if not heaps:
+            # The rarity estimate was stale (keyword deleted since the
+            # sketch was built): no live heap means no conjunctive hit.
+            self._finish_stats(stats, heaps)
+            return []
         heap = heaps[0]
         results = _TopKList(k)
         with trace_span("processor.search", algorithm="bknn-and"):

@@ -137,6 +137,21 @@ def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
         w.sample("timeouts_total", "counter",
                  "Requests that missed their deadline (HTTP 504).",
                  snapshot["timeouts"])
+    if "rate_limited" in snapshot:
+        w.sample("rate_limited_total", "counter",
+                 "Requests rejected by the per-client rate limiter (HTTP 429).",
+                 snapshot["rate_limited"])
+    limiter = snapshot.get("rate_limiter") or {}
+    if limiter:
+        w.sample("rate_limiter_allowed_total", "counter",
+                 "Requests admitted by the leaky-bucket limiter.",
+                 limiter.get("allowed", 0))
+        w.sample("rate_limiter_limited_total", "counter",
+                 "Requests refused by the leaky-bucket limiter.",
+                 limiter.get("limited", 0))
+        w.sample("rate_limiter_clients", "gauge",
+                 "Client buckets currently tracked.",
+                 limiter.get("tracked_clients", 0))
     if "queries_served" in snapshot:
         w.sample("queries_served_total", "counter",
                  "Queries answered (cache hits included).",
@@ -192,6 +207,20 @@ def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
     if "hit_rate" in cache:
         w.sample("cache_hit_rate", "gauge",
                  "Result-cache hits over lookups so far.", cache["hit_rate"])
+    admission = cache.get("admission") or {}
+    if admission:
+        w.sample("cache_admitted_total", "counter",
+                 "Results admitted to the cache by the hot-keyword gate.",
+                 admission.get("admitted", 0))
+        w.sample("cache_admission_rejected_total", "counter",
+                 "Results the hot-keyword gate kept out of the cache.",
+                 admission.get("rejected", 0))
+        w.sample("cache_admission_observed_total", "counter",
+                 "Keyword observations fed to the heat counter.",
+                 admission.get("observed", 0))
+        w.sample("cache_admission_tracked_keywords", "gauge",
+                 "Keywords currently tracked by the lossy heat counter.",
+                 admission.get("tracked", 0))
 
     # -------------------------------------------------------- admission
     if "queue_depth" in snapshot:
@@ -221,6 +250,13 @@ def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
             ("retried_requests", "Requests retried after a worker death."),
             ("updates_applied", "Updates fanned out across the cluster."),
             ("supervisor_sweeps", "Supervisor health sweeps completed."),
+            ("dispatches", "Per-shard dispatches issued by the router."),
+            ("sketch_skipped_shards",
+             "Shard dispatches avoided because Bloom filters rejected "
+             "every keyword the shard would have served."),
+            ("sketch_short_circuits",
+             "Queries answered empty without any dispatch (sketches "
+             "proved no keyword matches)."),
         ):
             if key in cluster:
                 w.sample(f"cluster_{key}_total", "counter", help_text, cluster[key])
@@ -243,6 +279,31 @@ def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
                 w.histogram("worker_query_latency_seconds",
                             "Engine-side query latency by worker.",
                             payload, {"worker": worker})
+
+    # ------------------------------------------------- sketch registry
+    sketch = snapshot.get("sketch") or {}
+    if sketch:
+        w.sample("sketch_keywords", "gauge",
+                 "Distinct keywords tracked by the sketch registry.",
+                 sketch.get("keywords", 0))
+        w.sample("sketch_objects_estimate", "gauge",
+                 "HyperLogLog estimate of distinct indexed objects.",
+                 sketch.get("total_objects", 0))
+        w.sample("sketch_stale_deletes", "gauge",
+                 "Deletes folded since the last sketch rebuild.",
+                 sketch.get("stale_deletes", 0))
+        for shard_info in sketch.get("shards") or []:
+            labels = {"shard": str(shard_info.get("shard", 0))}
+            w.sample("sketch_bloom_fill_ratio", "gauge",
+                     "Fraction of Bloom bits set for this shard's filter.",
+                     shard_info.get("fill_ratio", 0.0), labels)
+            w.sample("sketch_bloom_fp_rate", "gauge",
+                     "Realized false-positive rate of this shard's filter.",
+                     shard_info.get("fp_rate", 0.0), labels)
+            w.sample("sketch_bloom_saturated", "gauge",
+                     "Whether this shard's filter exceeded the fill cap "
+                     "(routing fails open).",
+                     1 if shard_info.get("saturated") else 0, labels)
 
     # -------------------------------------------------- NVD build state
     build = snapshot.get("nvd_build") or {}

@@ -43,6 +43,7 @@ from repro.api import (
     ensure_supported,
     merge_results,
     merge_stat_dicts,
+    stats_to_dict,
 )
 from repro.core.framework import KSpin
 from repro.obs.trace import TRACER, Span, attach, current_span
@@ -56,6 +57,8 @@ from repro.serve.placement import (
     RoutingPlan,
 )
 from repro.serve.supervisor import Supervisor
+from repro.sketch.lossy import LossyCounter
+from repro.sketch.registry import IndexSketches
 
 #: Recognised placement policy names (CLI surface).
 PLACEMENTS = ("replicate", "shard-by-keyword")
@@ -95,6 +98,13 @@ class ClusterCoordinator:
         demand (to a temp file, cleaned up on close) when absent.
     supervise:
         Run the background health checker (on by default).
+    sketch_routing:
+        Build an :class:`~repro.sketch.registry.IndexSketches` registry
+        at fork time and let the router prune provably-empty keywords
+        and shards (on by default; recall-safe because Bloom filters
+        have no false negatives).
+    sketch_fp_rate:
+        Configured Bloom false-positive bound for the shard filters.
     """
 
     def __init__(
@@ -108,6 +118,8 @@ class ClusterCoordinator:
         supervise: bool = True,
         health_interval: float = 1.0,
         ping_timeout: float = 2.0,
+        sketch_routing: bool = True,
+        sketch_fp_rate: float = 0.01,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
@@ -126,11 +138,24 @@ class ClusterCoordinator:
         # no-worker-left fallback.  Cache disabled — the parent answers
         # rarely and must never serve a result its workers would not.
         self._fallback = Engine(kspin, cache_size=0)
+        # Per-shard Bloom filters + per-keyword HLLs, built once in the
+        # parent before forking; workers inherit their own copies via
+        # Engine construction.  Updates are folded in under the update
+        # lock, so routing decisions always reflect every applied op.
+        self.sketches: IndexSketches | None = (
+            IndexSketches.from_index(
+                kspin.index, num_shards=num_workers, fp_rate=sketch_fp_rate
+            )
+            if sketch_routing
+            else None
+        )
         if placement == "replicate":
-            self.router = ReplicateRouter(num_workers)
+            self.router = ReplicateRouter(num_workers, sketches=self.sketches)
         else:
             self.router = KeywordShardRouter(
-                num_workers, inverted_size=kspin.index.inverted_size
+                num_workers,
+                inverted_size=kspin.index.inverted_size,
+                sketches=self.sketches,
             )
         self.workers: list[WorkerHandle | None] = [None] * num_workers
         self._journal: list[dict] = []
@@ -149,6 +174,9 @@ class ClusterCoordinator:
         self.updates_applied = 0
         self.fallback_queries = 0
         self.retried_requests = 0
+        self.dispatches = 0
+        self.sketch_skipped_shards = 0
+        self.sketch_short_circuits = 0
         self.last_error: str | None = None
 
     # ------------------------------------------------------------------
@@ -277,8 +305,21 @@ class ClusterCoordinator:
             self.start()
         with trace_span("cluster.execute", kind=query.kind):
             plan = self.router.plan(query, self._inflight())
+            if plan.empty:
+                # The sketches proved no shard can contribute a hit:
+                # answer without touching a single worker.  Bloom "no"
+                # has no false negatives, so this is exact, not a guess.
+                with self._stats_lock:
+                    self.sketch_short_circuits += 1
+                with trace_span("cluster.sketch_short_circuit"):
+                    return QueryResult(hits=(), stats=stats_to_dict(None))
+            with self._stats_lock:
+                self.dispatches += len(plan.assignments)
+                self.sketch_skipped_shards += len(plan.skipped)
             if not plan.scatter:
-                return self._dispatch(plan.single_target, query)
+                return self._dispatch(
+                    plan.single_target, plan.assignments[plan.single_target]
+                )
             return self._scatter(plan)
 
     def _inflight(self) -> list[int]:
@@ -368,6 +409,17 @@ class ClusterCoordinator:
             summary = self._fallback.apply(op)
             self._journal.append(op.to_dict())
             self.updates_applied += 1
+            if self.sketches is not None:
+                # Folded only after the parent accepted the op, so the
+                # router never trusts bits for a rejected update.
+                # Inserts extend the Bloom/HLL state exactly; deletes
+                # stale it (insert-only sketches) until the refresh
+                # threshold triggers a rebuild from the live index.
+                self.sketches.apply_update(
+                    op.op, op.touched_keywords(), op.object
+                )
+                if self.sketches.needs_refresh():
+                    self.sketches.refresh(self._kspin.index)
             evicted = 0
             for index, handle in enumerate(self.workers):
                 if handle is None:
@@ -401,6 +453,7 @@ class ClusterCoordinator:
                 },
                 "updates_applied": self.updates_applied,
                 "journal_length": len(self._journal),
+                "sketch_routing": self.sketches is not None,
             }
         )
         return base
@@ -434,6 +487,9 @@ class ClusterCoordinator:
             "supervisor_last_error": self.supervisor.last_error,
             "fallback_queries": self.fallback_queries,
             "retried_requests": self.retried_requests,
+            "dispatches": self.dispatches,
+            "sketch_skipped_shards": self.sketch_skipped_shards,
+            "sketch_short_circuits": self.sketch_short_circuits,
             "updates_applied": self.updates_applied,
             "worker_status": {
                 handle.name: {
@@ -447,6 +503,8 @@ class ClusterCoordinator:
             },
             "per_worker": per_worker,
         }
+        if self.sketches is not None:
+            merged["sketch"] = self.sketches.snapshot()
         progress = getattr(self._kspin.index, "build_progress", None)
         if progress is not None:
             merged["nvd_build"] = progress.snapshot()
@@ -469,6 +527,7 @@ class ClusterCoordinator:
             "errors": {},
             "shed": 0,
             "timeouts": 0,
+            "rate_limited": 0,
             "queries_served": 0,
             "cache": {
                 "capacity": 0,
@@ -494,6 +553,7 @@ class ClusterCoordinator:
                 )
             merged["shed"] += snap.get("shed", 0)
             merged["timeouts"] += snap.get("timeouts", 0)
+            merged["rate_limited"] += snap.get("rate_limited", 0)
             merged["queries_served"] += snap.get("queries_served", 0)
             for name in ("capacity", "entries", "hits", "misses", "invalidations"):
                 merged["cache"][name] += snap.get("cache", {}).get(name, 0)
@@ -508,6 +568,33 @@ class ClusterCoordinator:
         merged["query_stats"] = merge_stat_dicts(
             snap.get("query_stats", {}) for snap in snapshots
         )
+        # Hot-keyword admission: merge the per-worker lossy counters so
+        # cluster-wide heat reflects every worker's traffic (the merged
+        # counter keeps the Manku–Motwani error bound over the pooled
+        # stream), then sum the plain admission counters.
+        admissions = [
+            snap["cache"]["admission"]
+            for snap in snapshots
+            if isinstance(snap.get("cache", {}).get("admission"), dict)
+        ]
+        if admissions:
+            pooled_heat: LossyCounter | None = None
+            block: dict = {"admitted": 0, "rejected": 0, "observed": 0}
+            for payload in admissions:
+                for name in ("admitted", "rejected", "observed"):
+                    block[name] += payload.get(name, 0)
+                counter_payload = payload.get("counter")
+                if counter_payload:
+                    counter = LossyCounter.from_dict(counter_payload)
+                    if pooled_heat is None:
+                        pooled_heat = counter
+                    else:
+                        pooled_heat.merge(counter)
+            if pooled_heat is not None:
+                block["counter"] = pooled_heat.to_dict()
+                block["top"] = pooled_heat.top(10)
+                block["tracked"] = len(pooled_heat)
+            merged["cache"]["admission"] = block
         lookups = merged["cache"]["hits"] + merged["cache"]["misses"]
         merged["cache"]["hit_rate"] = (
             merged["cache"]["hits"] / lookups if lookups else 0.0

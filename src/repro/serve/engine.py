@@ -51,9 +51,10 @@ from repro.core.framework import KSpin
 from repro.core.query_processor import QueryProcessor, QueryStats
 from repro.obs.trace import annotate as trace_annotate
 from repro.obs.trace import span as trace_span
-from repro.serve.cache import ResultCache, result_key
+from repro.serve.cache import HotKeywordAdmission, ResultCache, result_key
 from repro.serve.locks import ReadWriteLock
 from repro.serve.metrics import ServerMetrics
+from repro.sketch.registry import IndexSketches
 
 #: Query families the engine serves.
 KINDS = ("bknn", "topk")
@@ -86,6 +87,15 @@ class Engine:
         Result-cache capacity; 0 disables caching.
     metrics:
         Optional shared :class:`ServerMetrics`; one is created if absent.
+    enable_sketches:
+        Build an :class:`~repro.sketch.registry.IndexSketches` registry
+        at construction (i.e. per worker at fork/rehydrate time) so the
+        conjunctive planner ranks keyword rarity from HyperLogLog
+        estimates instead of walking live-object sets.  On by default;
+        incremental updates keep the registry current.
+    hot_threshold:
+        Keyword observations before the lossy-counter admission policy
+        considers it hot (only consulted once the cache is full).
     """
 
     def __init__(
@@ -93,9 +103,17 @@ class Engine:
         kspin: KSpin,
         cache_size: int = 1024,
         metrics: ServerMetrics | None = None,
+        enable_sketches: bool = True,
+        hot_threshold: int = 2,
     ) -> None:
         self._kspin = kspin
         self.cache = ResultCache(cache_size)
+        self.admission = HotKeywordAdmission(hot_threshold=hot_threshold)
+        self.sketches: IndexSketches | None = (
+            IndexSketches.from_index(kspin.index, num_shards=1)
+            if enable_sketches
+            else None
+        )
         self.metrics = metrics or ServerMetrics()
         self.lock = ReadWriteLock(name="engine.rwlock")
         self._local = threading.local()
@@ -112,7 +130,12 @@ class Engine:
         if processor is None:
             k = self._kspin
             processor = QueryProcessor(
-                k.graph, k.index, k.relevance, k.oracle, k.heap_generator
+                k.graph, k.index, k.relevance, k.oracle, k.heap_generator,
+                selectivity=(
+                    self.sketches.cardinality
+                    if self.sketches is not None
+                    else None
+                ),
             )
             self._local.processor = processor
         return processor
@@ -168,6 +191,10 @@ class Engine:
         key = result_key(
             query.vertex, query.keywords, query.k, query.kind, query.mode
         )
+        # Heat is observed on every request (hit or miss): admission
+        # measures query traffic, and a hot entry that keeps hitting
+        # must stay hot even though it never re-enters via put().
+        self.admission.observe(query.keywords)
         with trace_span("engine.cache_lookup"):
             cached = self.cache.get(key)
         if cached is not None:
@@ -195,8 +222,13 @@ class Engine:
                 stats = processor.last_stats
             # Stored before the read lock drops: a concurrent update's
             # invalidation (under the write lock) can then never miss
-            # this entry and leave a stale result behind.
-            self.cache.put(key, results)
+            # this entry and leave a stale result behind.  A full cache
+            # only admits hot keyword vectors — each put there evicts a
+            # resident, and one-off scans must not churn the hot set.
+            if self.admission.admit(
+                query.keywords, under_pressure=self.cache.full()
+            ):
+                self.cache.put(key, results)
         finally:
             self.lock.release_read()
         self.metrics.record_query_stats(
@@ -207,12 +239,28 @@ class Engine:
     # ------------------------------------------------------------------
     # Updates (write side, paper §6.2)
     # ------------------------------------------------------------------
+    def _sketch_update(
+        self, op: str, keywords: Sequence[str], obj: int | None
+    ) -> None:
+        """Fold one applied update into the sketch registry.
+
+        Called under the write lock, after the index accepted the op.
+        Inserts extend the Bloom/HLL state exactly; deletes stale it
+        until the accumulated count triggers a rebuild from live state.
+        """
+        if self.sketches is None:
+            return
+        self.sketches.apply_update(op, keywords, obj)
+        if self.sketches.needs_refresh():
+            self.sketches.refresh(self._kspin.index)
+
     def insert_object(self, obj: int, document: Sequence[str] | dict) -> int:
         """Insert a POI; evicts cache entries reading any of its keywords."""
         keywords = list(document)
         with self.lock.write():
             self._kspin.insert_object(obj, document)
             evicted = self.cache.invalidate_keywords(keywords)
+            self._sketch_update("insert", keywords, obj)
             self.updates_applied += 1
         return evicted
 
@@ -222,6 +270,7 @@ class Engine:
             keywords = list(self._kspin.index.document(obj))
             self._kspin.delete_object(obj)
             evicted = self.cache.invalidate_keywords(keywords)
+            self._sketch_update("delete", keywords, obj)
             self.updates_applied += 1
         return evicted
 
@@ -230,6 +279,7 @@ class Engine:
         with self.lock.write():
             self._kspin.add_keyword(obj, keyword, frequency)
             evicted = self.cache.invalidate_keywords([keyword])
+            self._sketch_update("add_keyword", [keyword], obj)
             self.updates_applied += 1
         return evicted
 
@@ -238,6 +288,7 @@ class Engine:
         with self.lock.write():
             self._kspin.remove_keyword(obj, keyword)
             evicted = self.cache.invalidate_keywords([keyword])
+            self._sketch_update("remove_keyword", [keyword], obj)
             self.updates_applied += 1
         return evicted
 
@@ -302,6 +353,9 @@ class Engine:
         """
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.snapshot()
+        snapshot["cache"]["admission"] = self.admission.snapshot()
+        if self.sketches is not None:
+            snapshot["sketch"] = self.sketches.snapshot()
         progress = getattr(self._kspin.index, "build_progress", None)
         if progress is not None:
             snapshot["nvd_build"] = progress.snapshot()

@@ -20,7 +20,8 @@ Every response (success and error, every endpoint) is one JSON shape::
     {"ok": false, "error": {"code": "...", "message": "...", ...}}
 
 Machine-readable error codes: ``bad_request`` (400), ``not_found``
-(404), ``saturated`` (503, carries ``"retry": true``),
+(404), ``rate_limited`` (429, carries ``"retry_after"`` seconds and a
+``Retry-After`` header), ``saturated`` (503, carries ``"retry": true``),
 ``deadline_exceeded`` (504), ``internal`` (500).
 
 Endpoints (canonical under ``/v1/``; the unversioned paths are aliases
@@ -42,13 +43,17 @@ kept for older clients and answer with a ``Deprecation`` header):
     per-worker breakdown).
 
 Overload produces explicit errors instead of unbounded queueing:
-**503** when the admission queue is full, **504** when a request misses
-its deadline.
+**429** when one client exceeds its leaky-bucket budget (the rest of
+the fleet is unaffected), **503** when the admission queue is full,
+**504** when a request misses its deadline.  Clients identify
+themselves with an ``X-Client-Id`` header; anonymous requests are
+bucketed by source address.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from typing import TYPE_CHECKING
@@ -61,6 +66,7 @@ from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import TRACER, attach
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
 from repro.serve.ipc import WorkerError
+from repro.sketch.leaky import ClientRateLimiter
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.serve.cluster import ClusterCoordinator
@@ -78,6 +84,11 @@ _ENDPOINTS = ("/query", "/bknn", "/topk", "/update", "/healthz", "/metrics")
 #: Query endpoints that get a root trace span at ingress.
 _TRACED = ("/query", "/bknn", "/topk")
 
+#: Endpoints subject to per-client rate limits.  Health and metrics
+#: stay reachable even for a limited client — operators debugging an
+#: overload must never be locked out by the very limiter they tune.
+_RATE_LIMITED = ("/query", "/bknn", "/topk", "/update")
+
 
 class _Handler(BaseHTTPRequestHandler):
     """One request; the server instance carries the backend and pool."""
@@ -92,7 +103,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict, deprecated: bool = False) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        deprecated: bool = False,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -100,6 +117,8 @@ class _Handler(BaseHTTPRequestHandler):
         if deprecated:
             self.send_header("Deprecation", "true")
             self.send_header("Link", '</v1/>; rel="successor-version"')
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -120,12 +139,14 @@ class _Handler(BaseHTTPRequestHandler):
         code: str,
         message: str,
         deprecated: bool = False,
+        headers: dict[str, str] | None = None,
         **extra,
     ) -> None:
         self._send_json(
             status,
             {"ok": False, "error": {"code": code, "message": message, **extra}},
             deprecated=deprecated,
+            headers=headers,
         )
 
     def _params(self) -> dict:
@@ -161,6 +182,27 @@ class _Handler(BaseHTTPRequestHandler):
             deprecated = endpoint in _ENDPOINTS
         start = time.perf_counter()
         metrics = self.server.metrics
+        limiter = self.server.rate_limiter
+        if limiter is not None and endpoint in _RATE_LIMITED:
+            client = self.headers.get("X-Client-Id") or self.client_address[0]
+            retry_after = limiter.check(client)
+            if retry_after is not None:
+                metrics.record_rate_limited(time.perf_counter() - start)
+                try:
+                    self._send_error(
+                        429,
+                        "rate_limited",
+                        f"client {client!r} exceeded its request rate",
+                        deprecated=deprecated,
+                        headers={
+                            "Retry-After": str(max(1, math.ceil(retry_after)))
+                        },
+                        retry=True,
+                        retry_after=round(retry_after, 3),
+                    )
+                except BrokenPipeError:
+                    pass
+                return
         # Handlers *return* the response payload; metrics are recorded
         # before any bytes go out, so a client that has received the
         # response immediately observes the request in /metrics.
@@ -206,13 +248,13 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         except ServerSaturated as error:
-            metrics.record_shed()
+            metrics.record_shed(time.perf_counter() - start)
             self._send_error(
                 503, "saturated", str(error), deprecated=deprecated, retry=True
             )
             return
         except DeadlineExceeded as error:
-            metrics.record_timeout()
+            metrics.record_timeout(time.perf_counter() - start)
             self._send_error(
                 504, "deadline_exceeded", str(error), deprecated=deprecated
             )
@@ -336,6 +378,13 @@ class QueryServer(ThreadingHTTPServer):
     slow_query_threshold:
         Seconds; traced requests at least this slow also land in the
         slow-query log (None disables the log).
+    rate_limit:
+        Per-client steady-state requests/second enforced with a leaky
+        bucket (None disables rate limiting).  Clients are keyed by the
+        ``X-Client-Id`` header, falling back to the source address.
+    rate_burst:
+        Burst allowance per client (bucket capacity); defaults to
+        ``2 * rate_limit``.
     """
 
     daemon_threads = True
@@ -352,10 +401,21 @@ class QueryServer(ThreadingHTTPServer):
         trace: bool = False,
         trace_buffer: int = 64,
         slow_query_threshold: float | None = None,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.backend = backend
         self.metrics = ServerMetrics()
+        self.rate_limiter: ClientRateLimiter | None = None
+        if rate_limit is not None:
+            if rate_limit <= 0:
+                raise ValueError("rate_limit must be positive")
+            self.rate_limiter = ClientRateLimiter(
+                rate=rate_limit,
+                capacity=rate_burst if rate_burst is not None
+                else max(1.0, 2.0 * rate_limit),
+            )
         self.pool = WorkerPool(
             workers=workers, max_queue=max_queue, default_deadline=deadline
         )
@@ -398,9 +458,11 @@ class QueryServer(ThreadingHTTPServer):
         http = self.metrics.snapshot()
         for key in (
             "requests", "requests_total", "errors", "shed", "timeouts",
-            "latency", "error_latency", "endpoints",
+            "rate_limited", "latency", "error_latency", "endpoints",
         ):
             snapshot[key] = http[key]
+        if self.rate_limiter is not None:
+            snapshot["rate_limiter"] = self.rate_limiter.snapshot()
         # Per-stage histograms live where the trace sink runs (this
         # tier); backend stage blocks (if any) are kept unless the HTTP
         # tier saw the same stage.

@@ -7,6 +7,13 @@ dependencies), and :func:`replay` fires a workload at the server from
 ``concurrency`` client threads, collecting throughput, latency
 percentiles, and error/shed counts.  The serve-throughput benchmark
 sweeps ``replay`` over an increasing concurrency ladder.
+
+Rate-limiter exercises: ``ServeClient`` can carry a ``client_id`` (sent
+as the ``X-Client-Id`` header the server's leaky buckets key on), and
+``replay(..., clients=N)`` spreads requests round-robin over ``N``
+distinct identities, counting 429 refusals separately from 503 sheds.
+Run directly (``python -m repro.serve.loadgen --url ... --clients 4``)
+to fire the Zipf workload at a running server.
 """
 
 from __future__ import annotations
@@ -31,19 +38,32 @@ class ServeClient:
     ``results``/``hits``/``cached``/``stats``).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        client_id: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Sent as ``X-Client-Id`` so the server's per-client leaky
+        #: buckets see this client as one identity regardless of which
+        #: thread or socket carries the request.
+        self.client_id = client_id
 
     def _request(self, path: str, payload: dict | None = None) -> dict:
         url = f"{self.base_url}{path}"
+        headers: dict[str, str] = {}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         if payload is None:
-            request = urllib.request.Request(url)
+            request = urllib.request.Request(url, headers=headers)
         else:
+            headers["Content-Type"] = "application/json"
             request = urllib.request.Request(
                 url,
                 data=json.dumps(payload).encode(),
-                headers={"Content-Type": "application/json"},
+                headers=headers,
                 method="POST",
             )
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -101,6 +121,7 @@ class LoadResult:
     p95_ms: float
     p99_ms: float
     cache_hits: int = 0
+    limited: int = 0
     details: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -109,6 +130,7 @@ class LoadResult:
             "requests": self.requests,
             "ok": self.ok,
             "shed": self.shed,
+            "limited": self.limited,
             "errors": self.errors,
             "elapsed_seconds": self.elapsed_seconds,
             "qps": self.qps,
@@ -127,37 +149,65 @@ def replay(
     concurrency: int,
     k: int = 10,
     kind: str = "bknn",
+    clients: int = 1,
 ) -> LoadResult:
     """Fire ``queries`` at the server from ``concurrency`` threads.
 
     Requests are spread round-robin over the client threads; 503 sheds
-    are counted separately from hard errors so saturation studies can
-    tell graceful degradation from breakage.
+    and 429 rate-limit refusals are counted separately from hard errors
+    so saturation studies can tell graceful degradation from breakage.
+
+    ``clients`` spreads the requests over that many distinct client
+    identities (``<base>-0`` .. ``<base>-N-1``, where the base is the
+    passed client's id or ``"loadgen"``) so per-client rate limiting is
+    exercisable: one greedy identity trips 429s without starving the
+    rest.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be positive")
+    if clients < 1:
+        raise ValueError("clients must be positive")
     if kind not in ("bknn", "topk"):
         raise ValueError("kind must be 'bknn' or 'topk'")
+    base_id = client.client_id or "loadgen"
+    if clients == 1:
+        identities = [client]
+    else:
+        identities = [
+            ServeClient(
+                client.base_url,
+                timeout=client.timeout,
+                client_id=f"{base_id}-{i}",
+            )
+            for i in range(clients)
+        ]
     recorder = LatencyRecorder()
-    outcomes = {"ok": 0, "shed": 0, "errors": 0, "cache_hits": 0}
+    outcomes = {"ok": 0, "shed": 0, "limited": 0, "errors": 0, "cache_hits": 0}
 
-    def fire(query: Query) -> tuple[str, float, bool]:
+    def fire(task: tuple[int, Query]) -> tuple[str, float, bool]:
+        index, query = task
+        sender = identities[index % len(identities)]
         start = time.perf_counter()
         try:
             if kind == "bknn":
-                body = client.bknn(query.vertex, k, list(query.keywords))
+                body = sender.bknn(query.vertex, k, list(query.keywords))
             else:
-                body = client.top_k(query.vertex, k, list(query.keywords))
+                body = sender.top_k(query.vertex, k, list(query.keywords))
             return "ok", time.perf_counter() - start, bool(body.get("cached"))
         except urllib.error.HTTPError as error:
-            status = "shed" if error.code == 503 else "errors"
+            if error.code == 429:
+                status = "limited"
+            elif error.code == 503:
+                status = "shed"
+            else:
+                status = "errors"
             return status, time.perf_counter() - start, False
         except Exception:
             return "errors", time.perf_counter() - start, False
 
     start = time.perf_counter()
     with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
-        for status, seconds, cached in pool.map(fire, queries):
+        for status, seconds, cached in pool.map(fire, enumerate(queries)):
             outcomes[status] += 1
             if status == "ok":
                 recorder.record(seconds)
@@ -177,4 +227,60 @@ def replay(
         p95_ms=recorder.percentile(95) * 1000.0,
         p99_ms=recorder.percentile(99) * 1000.0,
         cache_hits=outcomes["cache_hits"],
+        limited=outcomes["limited"],
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Fire a Zipf workload at a running server from the command line.
+
+    ``--clients N`` emits N distinct ``X-Client-Id`` identities so the
+    server's per-client rate limiter (``repro serve --rate-limit``) is
+    exercisable under the standard workload.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Replay a Zipf-skewed workload against a repro server.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--dataset", default="ME-S",
+                        help="ladder dataset the workload is drawn from "
+                             "(must match the served index; default ME-S)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total requests to fire (default 200)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="client threads (default 4)")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="distinct client identities spread over the "
+                             "requests (default 1)")
+    parser.add_argument("--kind", default="bknn", choices=["bknn", "topk"])
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--terms", type=int, default=2,
+                        help="keywords per query (default 2)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.datasets import load_dataset
+    from repro.datasets.workloads import WorkloadGenerator
+
+    dataset = load_dataset(args.dataset)
+    generator = WorkloadGenerator(dataset.graph, dataset.keywords, seed=args.seed)
+    queries = generator.zipf_queries(args.terms, args.requests)
+    client = ServeClient(args.url)
+    result = replay(
+        client,
+        queries,
+        concurrency=args.concurrency,
+        k=args.k,
+        kind=args.kind,
+        clients=args.clients,
+    )
+    print(json.dumps(result.as_dict(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

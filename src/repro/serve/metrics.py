@@ -72,6 +72,7 @@ class ServerMetrics:
         self._errors: dict[str, int] = {}
         self.shed = 0
         self.timeouts = 0
+        self.rate_limited = 0
         self._stats_totals = QueryStats()
         self.queries_served = 0
 
@@ -98,15 +99,36 @@ class ServerMetrics:
                 recorder = self._endpoint_latency[endpoint] = LatencyRecorder()
             recorder.record(seconds)
 
-    def record_shed(self) -> None:
-        """One request rejected by admission control (503)."""
+    def record_shed(self, seconds: float | None = None) -> None:
+        """One request rejected by admission control (503).
+
+        ``seconds`` (time spent before the rejection) lands in the
+        error-latency histogram: a 503 that took a while queueing is a
+        saturation signal, not noise.
+        """
         with self._lock:
             self.shed += 1
+            if seconds is not None:
+                self._error_latency.record(seconds)
 
-    def record_timeout(self) -> None:
+    def record_timeout(self, seconds: float | None = None) -> None:
         """One request that missed its deadline (504)."""
         with self._lock:
             self.timeouts += 1
+            if seconds is not None:
+                self._error_latency.record(seconds)
+
+    def record_rate_limited(self, seconds: float | None = None) -> None:
+        """One request rejected by the per-client rate limiter (429).
+
+        Counted apart from shed (503) and deadline (504): a 429 is the
+        *client* exceeding its budget, not the server saturating — the
+        dashboards must never conflate the two.
+        """
+        with self._lock:
+            self.rate_limited += 1
+            if seconds is not None:
+                self._error_latency.record(seconds)
 
     def record_query_stats(
         self,
@@ -172,6 +194,7 @@ class ServerMetrics:
                 "errors": dict(self._errors),
                 "shed": self.shed,
                 "timeouts": self.timeouts,
+                "rate_limited": self.rate_limited,
                 "queries_served": self.queries_served,
                 "latency": self._latency.summary_ms(),
                 "error_latency": self._error_latency.summary_ms(),

@@ -25,27 +25,50 @@ a correctness one — any worker can answer any query.  Two policies:
       sub-query over its own keyword subset, and the coordinator
       merges per-keyword kNN lists — the disjunctive result is the
       k best of the union, which distributes over keyword subsets.
+
+Sketch-aware pruning
+--------------------
+Both routers optionally consult an
+:class:`~repro.sketch.registry.IndexSketches` registry.  A Bloom
+rejection is a *proof* the keyword has no live objects (no false
+negatives), so the router may:
+
+* short-circuit the whole query to a provably-empty plan
+  (``RoutingPlan.empty``) — any rejected keyword kills a conjunctive
+  query; all keywords rejected kills any query;
+* drop rejected keywords from a disjunctive scatter, skipping every
+  shard that owned only rejected keywords (``RoutingPlan.skipped``
+  records them for the fan-out counters).
+
+False positives only dispatch sub-queries that come back empty, so
+recall is provably unchanged; a saturated filter fails open inside
+``may_contain`` (full fan-out) rather than over-trusting stale bits.
 """
 
 from __future__ import annotations
 
 import itertools
-import zlib
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 from dataclasses import dataclass, field
 
 from repro.analysis.lockdebug import make_lock
 from repro.api import Query
+from repro.sketch.ring import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sketch.registry import IndexSketches
 
 
 def shard_of(keyword: str, num_shards: int) -> int:
     """The stable shard index owning ``keyword``.
 
-    CRC-32 rather than ``hash()``: Python randomises string hashes per
-    process, and the parent router and any rehydrated worker must agree
-    on ownership across process generations.
+    CRC-32 (:func:`repro.sketch.ring.stable_hash`) rather than
+    ``hash()``: Python randomises string hashes per process, and the
+    parent router and any rehydrated worker must agree on ownership
+    across process generations.  Bit-compatible with
+    :meth:`repro.sketch.registry.IndexSketches.shard_of`.
     """
-    return zlib.crc32(keyword.encode("utf-8")) % num_shards
+    return stable_hash(keyword) % num_shards
 
 
 @dataclass(frozen=True)
@@ -53,16 +76,44 @@ class RoutingPlan:
     """Where one query goes: one target, or a scatter set with sub-queries.
 
     ``assignments`` maps worker index -> the (sub-)query that worker
-    runs.  ``scatter`` is True when results need a merge.
+    runs.  ``scatter`` is True when results need a merge.  ``empty``
+    marks a sketch short-circuit: the plan proves the answer is empty
+    and nothing is dispatched.  ``skipped`` lists shards a full
+    scatter-gather would have dispatched to but the sketches ruled out.
     """
 
     assignments: dict[int, Query] = field(default_factory=dict)
     scatter: bool = False
+    empty: bool = False
+    skipped: tuple[int, ...] = ()
 
     @property
     def single_target(self) -> int:
         (index,) = self.assignments.keys()
         return index
+
+
+def _rejected_keywords(
+    query: Query, sketches: "IndexSketches | None"
+) -> set[str]:
+    """Query keywords the sketches *prove* have no live objects."""
+    if sketches is None:
+        return set()
+    return {kw for kw in query.keywords if not sketches.may_contain(kw)}
+
+
+def _short_circuits(query: Query, rejected: set[str]) -> bool:
+    """Whether the rejection set proves the whole answer is empty.
+
+    Conjunctive queries need every keyword, so one dead keyword is
+    fatal; disjunctive/top-k queries are empty only when *no* keyword
+    has objects.
+    """
+    if not rejected:
+        return False
+    if query.conjunctive:
+        return True
+    return len(rejected) == len(query.keywords)
 
 
 class ReplicateRouter:
@@ -74,14 +125,22 @@ class ReplicateRouter:
 
     name = "replicate"
 
-    def __init__(self, num_workers: int) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        sketches: "IndexSketches | None" = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
+        self.sketches = sketches
         self._counter = itertools.count()
         self._lock = make_lock("placement.replicate")
 
     def plan(self, query: Query, inflight: list[int]) -> RoutingPlan:
+        rejected = _rejected_keywords(query, self.sketches)
+        if _short_circuits(query, rejected):
+            return RoutingPlan(empty=True)
         with self._lock:
             turn = next(self._counter)
         order = [(inflight[i], (i - turn) % self.num_workers, i)
@@ -99,37 +158,63 @@ class KeywordShardRouter:
         self,
         num_workers: int,
         inverted_size: Callable[[str], int] | None = None,
+        sketches: "IndexSketches | None" = None,
     ) -> None:
         """``inverted_size(keyword) -> int`` ranks keyword rarity for the
         conjunctive/top-k single-owner rule; defaults to treating all
-        keywords as equally rare (first-owner order)."""
+        keywords as equally rare (first-owner order).  ``sketches``
+        enables Bloom-backed keyword pruning and shard skipping."""
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
+        self.sketches = sketches
         self._inverted_size = inverted_size or (lambda keyword: 0)
 
     def plan(self, query: Query, inflight: list[int]) -> RoutingPlan:
+        rejected = _rejected_keywords(query, self.sketches)
+        if _short_circuits(query, rejected):
+            return RoutingPlan(empty=True)
+        live = [kw for kw in query.keywords if kw not in rejected]
+        shards_all = {
+            shard_of(keyword, self.num_workers) for keyword in query.keywords
+        }
         by_shard: dict[int, list[str]] = {}
-        for keyword in query.keywords:
+        for keyword in live:
             by_shard.setdefault(
                 shard_of(keyword, self.num_workers), []
             ).append(keyword)
-        if len(by_shard) == 1:
-            (target,) = by_shard.keys()
-            return RoutingPlan(assignments={target: query})
+        skipped = tuple(sorted(shards_all - set(by_shard)))
         if query.kind == "topk" or query.conjunctive:
-            # Whole query to the rarest keyword's owner: conjunctive
-            # results need every keyword's diagram anyway (each worker
-            # has them all), and the rarest inverted heap drives the
-            # search, so pin its cache locality.
+            # Whole query to the rarest *live* keyword's owner:
+            # conjunctive results need every keyword's diagram anyway
+            # (each worker has them all), and the rarest inverted heap
+            # drives the search, so pin its cache locality.  The query
+            # is never narrowed here — top-k relevance normalisation
+            # spans the full keyword vector.
             rarest = min(
-                query.keywords,
-                key=lambda kw: (self._inverted_size(kw), kw),
+                live, key=lambda kw: (self._inverted_size(kw), kw),
             )
             target = shard_of(rarest, self.num_workers)
             return RoutingPlan(assignments={target: query})
+        if len(by_shard) == 1:
+            # One live shard: route the narrowed query there.  Dropping
+            # Bloom-rejected keywords is result-identical (a proven-dead
+            # keyword contributes no candidates) and skips dead-keyword
+            # heap setup on the worker.
+            (target,) = by_shard.keys()
+            narrowed = query if len(live) == len(query.keywords) else Query(
+                vertex=query.vertex,
+                keywords=tuple(live),
+                k=query.k,
+                kind=query.kind,
+                mode=query.mode,
+            )
+            return RoutingPlan(
+                assignments={target: narrowed}, skipped=skipped
+            )
         # Disjunctive BkNN distributes over keyword subsets: each shard
-        # answers k-best among its own keywords, the coordinator merges.
+        # answers k-best among its own live keywords, the coordinator
+        # merges; shards owning only rejected keywords are skipped.
         assignments = {
             shard: Query(
                 vertex=query.vertex,
@@ -140,4 +225,6 @@ class KeywordShardRouter:
             )
             for shard, keywords in by_shard.items()
         }
-        return RoutingPlan(assignments=assignments, scatter=True)
+        return RoutingPlan(
+            assignments=assignments, scatter=True, skipped=skipped
+        )

@@ -1,0 +1,195 @@
+"""Lossy counting: online hot-item detection in bounded memory.
+
+Zipf-skewed serving traffic concentrates on a few hot keywords, but the
+hot set drifts and the keyword universe is unbounded — an exact counter
+dict grows without limit.  Manku–Motwani lossy counting keeps at most
+``O(1/epsilon * log(epsilon * N))`` entries and guarantees, after ``N``
+observations:
+
+* **No over-count** — ``estimate(x) <= true_count(x)``.
+* **Bounded under-count** — ``true_count(x) - estimate(x) <= epsilon*N``.
+* **No misses among the hot** — any item with
+  ``true_count >= epsilon * N`` is still tracked.
+
+So "is this keyword hot?" (count above a support threshold) is answered
+exactly for thresholds above ``epsilon * N``, which is what cache
+admission needs: only keywords the counter still tracks deserve an LRU
+slot.
+
+Merging folds another counter's survivors in and widens the error bound
+to the *sum* of both streams' bounds (``epsilon * (N1 + N2)``); the
+no-over-count side is preserved exactly.  Bit-identical merge ≡
+pooled-build does not hold for lossy counting (bucket boundaries
+differ), but the error-bound contract above does — the tests pin the
+contract, not the representation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = ["LossyCounter"]
+
+
+class LossyCounter:
+    """A Manku–Motwani lossy counter over string items.
+
+    Parameters
+    ----------
+    epsilon:
+        The error bound: after ``N`` observations every estimate is
+        within ``epsilon * N`` below the true count.  Memory is
+        ``O(1/epsilon)``-ish; the default 0.001 tracks ~1k entries max
+        under adversarial streams, far fewer under Zipf traffic.
+    """
+
+    __slots__ = ("epsilon", "observed", "_width", "_bucket", "_entries")
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self.observed = 0  # N: total items observed
+        self._width = math.ceil(1.0 / epsilon)  # bucket width
+        self._bucket = 1  # current bucket id
+        # item -> (count, max_missed): count is observed-while-tracked,
+        # max_missed bounds what was dropped before tracking began.
+        self._entries: dict[str, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add(self, item: str, weight: int = 1) -> None:
+        """Observe ``item`` ``weight`` times."""
+        if weight < 1:
+            raise ValueError("weight must be positive")
+        for _ in range(weight):
+            self.observed += 1
+            entry = self._entries.get(item)
+            if entry is not None:
+                self._entries[item] = (entry[0] + 1, entry[1])
+            else:
+                self._entries[item] = (1, self._bucket - 1)
+            if self.observed % self._width == 0:
+                self._bucket += 1
+                self._prune()
+
+    def update(self, items: Iterable[str]) -> None:
+        for item in items:
+            self.add(item)
+
+    def _prune(self) -> None:
+        """Drop entries whose count + slack falls at/below the bucket id."""
+        stale = [
+            item
+            for item, (count, missed) in self._entries.items()
+            if count + missed <= self._bucket - 1
+        ]
+        for item in stale:
+            del self._entries[item]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, item: str) -> int:
+        """The tracked count (0 if pruned); never exceeds the true count."""
+        entry = self._entries.get(item)
+        return entry[0] if entry is not None else 0
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def error_bound(self) -> int:
+        """The maximum under-count right now: ``floor(epsilon * N)``."""
+        return math.floor(self.epsilon * self.observed)
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` largest tracked items as ``(item, estimate)`` pairs."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        ranked = sorted(
+            self._entries.items(), key=lambda kv: (-kv[1][0], kv[0])
+        )
+        return [(item, count) for item, (count, _missed) in ranked[:n]]
+
+    def items_over(self, support: int) -> list[tuple[str, int]]:
+        """Tracked items with estimate >= ``support`` (descending)."""
+        return [(item, count) for item, count in self.top(len(self._entries))
+                if count >= support]
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def merge(self, other: "LossyCounter") -> "LossyCounter":
+        """Fold ``other``'s survivors into this counter; returns self.
+
+        Counts add; the per-item slack adds (an item absent from one
+        side may have been pruned there, so that side's full error
+        bound is charged).  The merged counter keeps both guarantees
+        over the combined stream of ``N1 + N2`` observations.
+        """
+        if self.epsilon != other.epsilon:
+            raise ValueError("cannot merge LossyCounters with different epsilon")
+        self_bound = self._bucket - 1
+        other_bound = other._bucket - 1
+        merged: dict[str, tuple[int, int]] = {}
+        for item in set(self._entries) | set(other._entries):
+            mine = self._entries.get(item)
+            theirs = other._entries.get(item)
+            count = (mine[0] if mine else 0) + (theirs[0] if theirs else 0)
+            missed = (mine[1] if mine else self_bound) + (
+                theirs[1] if theirs else other_bound
+            )
+            merged[item] = (count, missed)
+        self._entries = merged
+        self.observed += other.observed
+        self._bucket = self.observed // self._width + 1
+        self._prune()
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "epsilon": self.epsilon,
+            "observed": self.observed,
+            "bucket": self._bucket,
+            "entries": {
+                item: [count, missed]
+                for item, (count, missed) in self._entries.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LossyCounter":
+        counter = cls(epsilon=float(payload["epsilon"]))
+        counter.observed = int(payload.get("observed", 0))
+        counter._bucket = int(payload.get("bucket", 1))
+        entries: dict[str, tuple[int, int]] = {}
+        raw: Mapping[str, Any] = payload.get("entries", {})
+        for item, pair in raw.items():
+            entries[str(item)] = (int(pair[0]), int(pair[1]))
+        counter._entries = entries
+        return counter
+
+    def __getstate__(self) -> dict[str, Any]:
+        return self.to_dict()
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        other = LossyCounter.from_dict(state)
+        self.epsilon = other.epsilon
+        self.observed = other.observed
+        self._width = other._width
+        self._bucket = other._bucket
+        self._entries = other._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"LossyCounter(epsilon={self.epsilon}, observed={self.observed}, "
+            f"tracked={len(self._entries)})"
+        )

@@ -1,0 +1,360 @@
+"""IndexSketches: the sketch registry summarising one keyword index.
+
+One object bundles everything the serving stack wants to know about an
+index without touching it:
+
+* **Per-shard Bloom filters** over the keywords each shard owns (the
+  :func:`repro.sketch.ring.stable_hash` ``% num_shards`` ownership rule,
+  bit-compatible with ``repro.serve.placement.shard_of``).  A shard
+  whose filter rejects a keyword provably holds no objects for it, so
+  the router can drop the keyword — and skip the shard outright when
+  every keyword it owns is rejected.
+* **Per-keyword HyperLogLogs** over live object IDs, plus one global
+  object HLL, giving the cost model ``rho = |inv(t)| / |O|`` from O(KB)
+  registers instead of a walk over live-object sets.
+
+The registry is insert-only between refreshes: inserts and
+``add_keyword`` updates are folded in incrementally (Bloom bits and HLL
+registers only ever gain information), while deletes merely *stale* the
+sketches — lingering bits over-estimate, which costs wasted dispatch
+but never a missed result.  :meth:`needs_refresh` tells the owner when
+enough deletes have accumulated to justify a rebuild via
+:meth:`refresh`.
+
+When a Bloom filter saturates past ``max_fill`` its answers stop
+meaning much (FP rate ``fill**k`` blows past the configured bound), so
+:meth:`may_contain` fails open — full fan-out, never lost recall.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Mapping, Protocol
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.hll import HyperLogLog
+from repro.sketch.ring import stable_hash
+
+__all__ = ["IndexSketches"]
+
+
+class _NVDLike(Protocol):
+    """The one method the registry needs from a per-keyword diagram."""
+
+    def live_objects(self) -> Collection[int]: ...
+
+
+class IndexLike(Protocol):
+    """Structural view of ``KeywordSeparatedIndex`` (no import cycle)."""
+
+    def keywords(self) -> tuple[str, ...]: ...
+
+    def nvd(self, keyword: str) -> _NVDLike | None: ...
+
+
+class IndexSketches:
+    """Mergeable sketch summary of one keyword-separated index.
+
+    Parameters
+    ----------
+    num_shards:
+        Keyword-ownership shard count (the cluster's worker count; 1
+        for a single-process engine).
+    fp_rate:
+        Configured Bloom false-positive bound per shard filter.
+    precision:
+        HyperLogLog precision for the per-keyword cardinality sketches
+        (the global object sketch uses ``precision + 2`` for a tighter
+        denominator).
+    capacity:
+        Expected keywords per shard filter; sizes the shared Bloom
+        geometry.  All shards use one geometry so filters merge.
+    max_fill:
+        Bloom fill ratio beyond which :meth:`may_contain` fails open.
+    refresh_threshold:
+        Staling deletes tolerated before :meth:`needs_refresh` fires.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        fp_rate: float = 0.01,
+        precision: int = 8,
+        capacity: int = 1024,
+        max_fill: float = 0.5,
+        refresh_threshold: int = 64,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if refresh_threshold < 1:
+            raise ValueError("refresh_threshold must be positive")
+        self.num_shards = num_shards
+        self.fp_rate = fp_rate
+        self.precision = precision
+        self.capacity = capacity
+        self.max_fill = max_fill
+        self.refresh_threshold = refresh_threshold
+        self.shard_filters: list[BloomFilter] = [
+            BloomFilter.with_capacity(capacity, fp_rate=fp_rate)
+            for _ in range(num_shards)
+        ]
+        self.keyword_cardinality: dict[str, HyperLogLog] = {}
+        self.object_sketch = HyperLogLog(precision=min(16, precision + 2))
+        self.stale_deletes = 0
+        self._fill_cache: list[float | None] = [0.0] * num_shards
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls,
+        index: IndexLike,
+        num_shards: int = 1,
+        fp_rate: float = 0.01,
+        precision: int = 8,
+        max_fill: float = 0.5,
+        refresh_threshold: int = 64,
+    ) -> "IndexSketches":
+        """Build a fresh registry from an index's live state.
+
+        The Bloom capacity is derived from the actual keyword count so
+        the realised FP rate lands near ``fp_rate`` regardless of
+        corpus size, with 2x headroom: an optimal filter sized exactly
+        at its key count sits at ~50% fill by construction, which would
+        trip the ``max_fill`` saturation guard on a healthy filter and
+        fail the shard open. Headroom keeps at-load fill near 29% and
+        leaves room for keywords inserted by later updates.
+        """
+        keywords = index.keywords()
+        per_shard = 2 * max(16, -(-len(keywords) // num_shards))  # ceil div
+        sketches = cls(
+            num_shards=num_shards,
+            fp_rate=fp_rate,
+            precision=precision,
+            capacity=per_shard,
+            max_fill=max_fill,
+            refresh_threshold=refresh_threshold,
+        )
+        sketches._ingest(index)
+        return sketches
+
+    def _ingest(self, index: IndexLike) -> None:
+        for keyword in index.keywords():
+            nvd = index.nvd(keyword)
+            live = nvd.live_objects() if nvd is not None else ()
+            if not live:
+                continue
+            self.add_keyword(keyword, live)
+
+    def refresh(self, index: IndexLike) -> None:
+        """Rebuild every sketch from the index's current live state.
+
+        The only way stale delete bits ever leave; cheap relative to a
+        diagram rebuild (it reads live-object sets, builds no NVDs).
+        Built aside and swapped in attribute-by-attribute so concurrent
+        readers never observe a half-ingested filter: each attribute
+        they read is always a *complete* sketch (possibly the stale
+        one, which only over-estimates — recall-safe either way).
+        """
+        fresh = IndexSketches(
+            num_shards=self.num_shards,
+            fp_rate=self.fp_rate,
+            precision=self.precision,
+            capacity=self.capacity,
+            max_fill=self.max_fill,
+            refresh_threshold=self.refresh_threshold,
+        )
+        # Keep the existing geometry so pre- and post-refresh filters
+        # stay mergeable with any serialized copies in flight.
+        fresh.shard_filters = [
+            BloomFilter(
+                num_bits=self.shard_filters[0].num_bits,
+                num_hashes=self.shard_filters[0].num_hashes,
+            )
+            for _ in range(self.num_shards)
+        ]
+        fresh.object_sketch = HyperLogLog(precision=self.object_sketch.precision)
+        fresh._ingest(index)
+        self.shard_filters = fresh.shard_filters
+        self.keyword_cardinality = fresh.keyword_cardinality
+        self.object_sketch = fresh.object_sketch
+        self._fill_cache = fresh._fill_cache
+        self.stale_deletes = 0
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def shard_of(self, keyword: str) -> int:
+        """The shard owning ``keyword`` (stable across processes)."""
+        return stable_hash(keyword) % self.num_shards
+
+    def add_keyword(self, keyword: str, objects: Collection[int]) -> None:
+        """Record ``keyword`` carrying ``objects`` (insert-only fold)."""
+        shard = self.shard_of(keyword)
+        self.shard_filters[shard].add(keyword)
+        self._fill_cache[shard] = None
+        sketch = self.keyword_cardinality.get(keyword)
+        if sketch is None:
+            sketch = HyperLogLog(precision=self.precision)
+            self.keyword_cardinality[keyword] = sketch
+        for obj in objects:
+            sketch.add_int(obj)
+            self.object_sketch.add_int(obj)
+
+    def apply_update(self, op_name: str, keywords: Collection[str],
+                     obj: int | None) -> None:
+        """Fold one update operation's effect into the sketches.
+
+        Inserts and keyword additions are folded exactly; deletes and
+        keyword removals cannot shrink insert-only sketches, so they
+        bump :attr:`stale_deletes` instead and the owner refreshes once
+        :meth:`needs_refresh` trips.
+        """
+        if op_name in ("insert", "add_keyword"):
+            for keyword in keywords:
+                self.add_keyword(keyword, (obj,) if obj is not None else ())
+        elif op_name in ("delete", "remove_keyword"):
+            self.stale_deletes += 1
+        # "rebuild" changes diagram internals, not the live sets.
+
+    def needs_refresh(self) -> bool:
+        """Whether accumulated deletes warrant a :meth:`refresh`."""
+        return self.stale_deletes >= self.refresh_threshold
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def saturated(self, shard: int) -> bool:
+        """Whether ``shard``'s filter is too full to trust."""
+        cached = self._fill_cache[shard]
+        if cached is None:
+            cached = self.shard_filters[shard].fill_ratio()
+            self._fill_cache[shard] = cached
+        return cached > self.max_fill
+
+    def may_contain(self, keyword: str) -> bool:
+        """Can any object carry ``keyword``?  ``False`` is a proof.
+
+        Fails open (returns True) when the owning shard's filter is
+        saturated — a saturated filter's "yes" is meaningless but its
+        "no" would still be sound; we fan out anyway to keep the
+        realised FP rate inside the configured bound.
+        """
+        shard = self.shard_of(keyword)
+        if self.saturated(shard):
+            return True
+        return keyword in self.shard_filters[shard]
+
+    def cardinality(self, keyword: str) -> int:
+        """Estimated ``|inv(t)|``; exactly 0 only for never-seen keywords."""
+        sketch = self.keyword_cardinality.get(keyword)
+        return sketch.cardinality() if sketch is not None else 0
+
+    def total_objects(self) -> int:
+        """Estimated ``|O|`` (the selectivity denominator)."""
+        return self.object_sketch.cardinality()
+
+    def selectivity(self, keyword: str) -> float:
+        """Estimated ``rho = |inv(t)| / |O|`` (0.0 for unseen keywords)."""
+        total = self.total_objects()
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.cardinality(keyword) / total)
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def merge(self, other: "IndexSketches") -> "IndexSketches":
+        """Fold another registry in (cluster-wide roll-up); returns self."""
+        if self.num_shards != other.num_shards:
+            raise ValueError("cannot merge registries with different shard counts")
+        for shard, filt in enumerate(other.shard_filters):
+            self.shard_filters[shard].merge(filt)
+            self._fill_cache[shard] = None
+        for keyword, sketch in other.keyword_cardinality.items():
+            mine = self.keyword_cardinality.get(keyword)
+            if mine is None:
+                self.keyword_cardinality[keyword] = HyperLogLog.from_dict(
+                    sketch.to_dict()
+                )
+            else:
+                mine.merge(sketch)
+        self.object_sketch.merge(other.object_sketch)
+        self.stale_deletes += other.stale_deletes
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization / inspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Lightweight stats for metrics and the ``repro sketch`` verb."""
+        return {
+            "num_shards": self.num_shards,
+            "fp_rate_bound": self.fp_rate,
+            "keywords": len(self.keyword_cardinality),
+            "total_objects": self.total_objects(),
+            "stale_deletes": self.stale_deletes,
+            "shards": [
+                {
+                    "shard": shard,
+                    "keywords": filt.count,
+                    "fill_ratio": round(filt.fill_ratio(), 6),
+                    "fp_rate": round(filt.false_positive_rate(), 6),
+                    "saturated": self.saturated(shard),
+                }
+                for shard, filt in enumerate(self.shard_filters)
+            ],
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "num_shards": self.num_shards,
+            "fp_rate": self.fp_rate,
+            "precision": self.precision,
+            "capacity": self.capacity,
+            "max_fill": self.max_fill,
+            "refresh_threshold": self.refresh_threshold,
+            "stale_deletes": self.stale_deletes,
+            "shard_filters": [filt.to_dict() for filt in self.shard_filters],
+            "keyword_cardinality": {
+                keyword: sketch.to_dict()
+                for keyword, sketch in self.keyword_cardinality.items()
+            },
+            "object_sketch": self.object_sketch.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "IndexSketches":
+        sketches = cls(
+            num_shards=int(payload["num_shards"]),
+            fp_rate=float(payload.get("fp_rate", 0.01)),
+            precision=int(payload.get("precision", 8)),
+            capacity=int(payload.get("capacity", 1024)),
+            max_fill=float(payload.get("max_fill", 0.5)),
+            refresh_threshold=int(payload.get("refresh_threshold", 64)),
+        )
+        sketches.shard_filters = [
+            BloomFilter.from_dict(item) for item in payload["shard_filters"]
+        ]
+        sketches.keyword_cardinality = {
+            str(keyword): HyperLogLog.from_dict(item)
+            for keyword, item in payload.get("keyword_cardinality", {}).items()
+        }
+        sketches.object_sketch = HyperLogLog.from_dict(payload["object_sketch"])
+        sketches.stale_deletes = int(payload.get("stale_deletes", 0))
+        sketches._fill_cache = [None] * sketches.num_shards
+        return sketches
+
+    def __getstate__(self) -> dict[str, Any]:
+        return self.to_dict()
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        other = IndexSketches.from_dict(state)
+        self.__dict__.update(other.__dict__)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"IndexSketches(num_shards={self.num_shards}, "
+            f"keywords={len(self.keyword_cardinality)}, "
+            f"stale_deletes={self.stale_deletes})"
+        )
