@@ -55,6 +55,7 @@ GUARDED_ATTRIBUTES: dict[str, dict[str, frozenset[str]]] = {
             "_endpoint_latency",
             "_stage_latency",
             "_stats_totals",
+            "_batch_size",
         }),
     },
     "serve/cluster.py": {
@@ -173,7 +174,29 @@ IPC_SEND_METHODS = frozenset({"send", "send_bytes", "request", "Process"})
 #: ``repro.api`` frozen dataclasses: the query surface's value types.
 #: Mutating one after construction breaks cache keys, journal replay,
 #: and cross-process equality all at once.
-FROZEN_API_TYPES = frozenset({"Query", "QueryResult", "Hit", "UpdateOp"})
+FROZEN_API_TYPES = frozenset({
+    "Query",
+    "QueryResult",
+    "Hit",
+    "UpdateOp",
+    "QueryBatch",
+    "BatchResult",
+})
+
+# ----------------------------------------------------------------------
+# KSP007 — batch entry points must not loop over per-item shims
+# ----------------------------------------------------------------------
+#: Function-name suffixes declaring a *batch* entry point: callers pay
+#: for one round trip and expect amortised execution.
+BATCH_SUFFIXES = ("_many", "_batch")
+
+#: The public per-item surface those batch bodies must not loop over —
+#: such a loop silently re-serialises the batch one query at a time
+#: (per-item locking, caching, and IPC round trips) while the name
+#: claims otherwise.  Sanctioned sequential fallbacks live in
+#: explicitly-named helpers (``execute_many_sequential``) or carry a
+#: ``# ksp: ignore[KSP007]`` on the looping line.
+PER_ITEM_SHIMS = frozenset({"execute", "distance", "knn", "lower_bound"})
 
 # ----------------------------------------------------------------------
 # Runtime write-guard registry (REPRO_LOCK_DEBUG=1)

@@ -12,6 +12,7 @@ KSP004    no wall-clock/RNG nondeterminism in fingerprint-reproducible
           code paths (NVD build, distance oracles)
 KSP005    no bare/swallowed exceptions in the supervision/IPC tier
 KSP006    no lambdas or closures in payloads crossing the IPC boundary
+KSP007    no ``*_many``/``*_batch`` body looping over a per-item shim
 ========  ============================================================
 
 Rules are pure functions of a parsed module (:class:`ModuleContext`);
@@ -579,6 +580,84 @@ class ClosureOverIpcRule(Rule):
         }
 
 
+# ----------------------------------------------------------------------
+# KSP007 — batch entry points looping over per-item shims
+# ----------------------------------------------------------------------
+class BatchShimLoopRule(Rule):
+    """``*_many``/``*_batch`` bodies must not loop over per-item shims.
+
+    A batch entry point that calls the public per-item surface
+    (:data:`~repro.analysis.config.PER_ITEM_SHIMS`) once per loop
+    iteration silently re-serialises the batch — per-item lock
+    acquisitions, cache probes, and IPC round trips — while its name
+    promises amortised execution.  The sanctioned sequential fallback
+    lives in one explicitly-named helper (``execute_many_sequential``,
+    deliberately outside the ``*_many`` suffix) or carries a
+    ``# ksp: ignore[KSP007]`` on the looping line.
+
+    Only the *per-iteration* region is inspected: a per-item call in a
+    ``for`` statement's iterable (evaluated once) or a comprehension's
+    first iterable is not a violation.
+    """
+
+    code = "KSP007"
+    title = "per-item shim call looped inside a batch entry point"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not func.name.endswith(config.BATCH_SUFFIXES):
+                continue
+            yield from self._check_batch_function(ctx, func)
+
+    def _check_batch_function(
+        self, ctx: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        reported: set[int] = set()
+        for node in self._per_iteration_nodes(func):
+            if id(node) in reported:
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            shim = node.func.attr
+            if shim not in config.PER_ITEM_SHIMS:
+                continue
+            reported.add(id(node))
+            yield _finding(
+                ctx,
+                node,
+                self.code,
+                f"batch entry point {func.name!r} loops over per-item "
+                f"shim {shim!r}: this re-serialises the batch one query "
+                "at a time — use the batch API (or delegate to "
+                "execute_many_sequential, the named sequential fallback)",
+            )
+
+    @staticmethod
+    def _per_iteration_nodes(func: ast.AST) -> Iterator[ast.AST]:
+        """Every node evaluated once *per loop iteration* inside ``func``."""
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                for stmt in list(node.body) + list(node.orelse):
+                    yield from ast.walk(stmt)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+            ):
+                yield from ast.walk(node.elt)
+                for comp in node.generators:
+                    for condition in comp.ifs:
+                        yield from ast.walk(condition)
+            elif isinstance(node, ast.DictComp):
+                yield from ast.walk(node.key)
+                yield from ast.walk(node.value)
+                for comp in node.generators:
+                    for condition in comp.ifs:
+                        yield from ast.walk(condition)
+
+
 #: The registry, in catalogue order.
 ALL_RULES: tuple[Rule, ...] = (
     FrozenMutationRule(),
@@ -587,6 +666,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NondeterminismRule(),
     SwallowedExceptionRule(),
     ClosureOverIpcRule(),
+    BatchShimLoopRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -375,10 +375,158 @@ def merge_results(
     )
 
 
-def warn_deprecated(old: str, new: str) -> None:
-    """Emit the standard deprecation warning for a positional shim."""
+@dataclass(frozen=True)
+class QueryBatch:
+    """An ordered batch of queries executed as one unit.
+
+    Batches are the first-class execution unit: every engine answers
+    :func:`execute_many`, and single-query ``execute`` calls are thin
+    shims over a one-element batch.  Order is significant — the i-th
+    entry of the answering :class:`BatchResult` corresponds to the i-th
+    query here.
+    """
+
+    queries: tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", tuple(self.queries))
+        if not self.queries:
+            raise ValueError("a QueryBatch needs at least one query")
+        for query in self.queries:
+            if not isinstance(query, Query):
+                raise TypeError(f"QueryBatch entries must be Query, got {query!r}")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def to_dict(self) -> dict:
+        return {"queries": [query.to_dict() for query in self.queries]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "QueryBatch":
+        raw = payload.get("queries")
+        if not isinstance(raw, (list, tuple)):
+            raise ValueError("batch payload needs a 'queries' list")
+        return cls(queries=tuple(Query.from_dict(item) for item in raw))
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-item outcomes for one :class:`QueryBatch`, order-preserving.
+
+    Exactly one of ``results[i]`` / ``errors[i]`` is set for each item:
+    a failed query yields a per-item ``{"code", "message"}`` error
+    object instead of failing the whole batch (see docs/api.md, "batch
+    query lifecycle").
+    """
+
+    results: tuple[QueryResult | None, ...]
+    errors: tuple[dict | None, ...] = ()
+
+    def __post_init__(self) -> None:
+        results = tuple(self.results)
+        errors = tuple(self.errors) or (None,) * len(results)
+        if len(errors) != len(results):
+            raise ValueError("results and errors must have the same length")
+        for result, error in zip(results, errors):
+            if (result is None) == (error is None):
+                raise ValueError(
+                    "each batch item needs exactly one of result or error"
+                )
+        object.__setattr__(self, "results", results)
+        object.__setattr__(self, "errors", errors)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for result in self.results if result is not None)
+
+    def to_dict(self) -> dict:
+        items = []
+        for result, error in zip(self.results, self.errors):
+            if result is not None:
+                items.append({"ok": True, "result": result.to_dict()})
+            else:
+                items.append({"ok": False, "error": dict(error or {})})
+        return {"items": items, "count": len(items), "ok_count": self.ok_count}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchResult":
+        results: list[QueryResult | None] = []
+        errors: list[dict | None] = []
+        for item in payload.get("items", ()):
+            if item.get("ok"):
+                results.append(QueryResult.from_dict(item["result"]))
+                errors.append(None)
+            else:
+                results.append(None)
+                errors.append(dict(item.get("error", {})))
+        return cls(results=tuple(results), errors=tuple(errors))
+
+
+def execute_many_sequential(engine, queries: Sequence[Query]) -> list[QueryResult]:
+    """Reference batch semantics: answer each query independently, in order.
+
+    This is the *definition* of ``execute_many`` — engines without a
+    native batch path delegate here, and batch-capable engines must be
+    result-identical to it (same hits in the same order per query).
+    Keeping the per-item loop in this one explicitly-named helper (the
+    KSP007 lint rule rejects such loops inside ``*_many`` bodies) makes
+    accidental re-serialisation greppable.
+    """
+    return [engine.execute(query) for query in queries]
+
+
+def batch_error_object(exc: BaseException) -> dict:
+    """Map an exception to the per-item error envelope used in batches.
+
+    Mirrors the HTTP tier's status mapping: malformed or unsupported
+    queries are ``bad_request``; anything else is ``internal``.
+    """
+    if isinstance(exc, (UnsupportedQueryError, KeyError, ValueError, TypeError)):
+        return {"code": "bad_request", "message": str(exc) or exc.__class__.__name__}
+    return {"code": "internal", "message": f"{exc.__class__.__name__}: {exc}"}
+
+
+def execute_batch(engine, batch: QueryBatch) -> BatchResult:
+    """Answer a batch with per-item error isolation.
+
+    The happy path hands the whole batch to ``engine.execute_many`` in
+    one call.  If any query is invalid (the batch call raises), each
+    item is retried individually so one bad query yields a per-item
+    error object rather than poisoning its batch-mates.
+    """
+    try:
+        answers = engine.execute_many(list(batch.queries))
+    except Exception:
+        results: list[QueryResult | None] = []
+        errors: list[dict | None] = []
+        for query in batch.queries:
+            try:
+                # Sanctioned per-item retry: this loop only runs after
+                # the batch call failed, to isolate the bad item.
+                results.append(engine.execute(query))  # ksp: ignore[KSP007]
+                errors.append(None)
+            except Exception as exc:  # noqa: PERF203 - per-item isolation
+                results.append(None)
+                errors.append(batch_error_object(exc))
+        return BatchResult(results=tuple(results), errors=tuple(errors))
+    return BatchResult(results=tuple(answers), errors=(None,) * len(answers))
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a positional shim.
+
+    ``stacklevel=3`` attributes the warning to the *caller of the shim*
+    (frame 1 is this helper, frame 2 the shim itself, frame 3 the
+    caller).  A shim that forwards through one extra internal frame
+    passes a higher ``stacklevel`` so the warning still points at user
+    code rather than at the shim.
+    """
     warnings.warn(
         f"{old} is deprecated; use {new} instead",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )

@@ -157,6 +157,12 @@ class FsFbs:
         )
         return QueryResult(hits=hits_from_pairs(query.kind, pairs))
 
+    def execute_many(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Answer a batch of queries in order (sequential reference path)."""
+        from repro.api import execute_many_sequential
+
+        return execute_many_sequential(self, queries)
+
     def bknn(
         self,
         query: int,

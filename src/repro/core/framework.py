@@ -126,6 +126,18 @@ class KSpin:
             stats=stats_to_dict(self.processor.last_stats),
         )
 
+    def execute_many(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Answer a batch of queries, order-preserving.
+
+        KSpin itself has no cache or lock to amortise, so the batch is
+        the sequential reference semantics; the serving layers
+        (:class:`repro.serve.Engine`, the cluster) override this with
+        genuinely batched paths and must stay result-identical to it.
+        """
+        from repro.api import execute_many_sequential
+
+        return execute_many_sequential(self, queries)
+
     def bknn(
         self,
         query: int,

@@ -16,12 +16,20 @@ report this counter alongside wall-clock time.
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 from repro.graph.road_network import RoadNetwork
 
 
 class DistanceOracle(abc.ABC):
-    """Exact point-to-point network distance between any two vertices."""
+    """Exact point-to-point network distance between any two vertices.
+
+    The batch refactor (ROADMAP: "batched query execution end-to-end")
+    added a vector API — :meth:`distances_many` / :meth:`knn_many` —
+    with a sequential fallback so every oracle conforms without change.
+    Index-free oracles override it to amortise one CSR ``sssp_rows``
+    call over the whole batch.
+    """
 
     #: Human-readable name used in benchmark tables ("CH", "PHL", ...).
     name: str = "oracle"
@@ -36,6 +44,49 @@ class DistanceOracle(abc.ABC):
     @abc.abstractmethod
     def memory_bytes(self) -> int:
         """Approximate in-memory index footprint in bytes."""
+
+    def distances_many(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> list[float]:
+        """Pairwise distances ``[d(s0,t0), d(s1,t1), ...]`` in one call.
+
+        The default is the sequential fallback — semantically the
+        definition of the method — so every oracle conforms; batch-aware
+        oracles override it with one vectorised search per distinct
+        source.  Results must be bit-identical to the fallback.
+        """
+        if len(sources) != len(targets):
+            raise ValueError(
+                f"pairwise call needs equal lengths, got "
+                f"{len(sources)} sources and {len(targets)} targets"
+            )
+        # Sanctioned per-item fallback: this loop *defines* the batch
+        # semantics (KSP007 forbids such loops in overriding *_many
+        # bodies, which must vectorise instead).
+        return [self.distance(s, t) for s, t in zip(sources, targets)]  # ksp: ignore[KSP007]
+
+    def knn_many(
+        self, sources: Sequence[int], candidates: Sequence[int], k: int
+    ) -> list[list[tuple[int, float]]]:
+        """For each source, the ``k`` nearest of ``candidates``.
+
+        Ties break on the candidate id so the answer is deterministic
+        across backends.  Built on :meth:`distances_many`, so oracles
+        that vectorise the pairwise call get a batched kNN for free.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        candidates = list(candidates)
+        flat_sources = [s for s in sources for _ in candidates]
+        flat_targets = [c for _ in sources for c in candidates]
+        flat = self.distances_many(flat_sources, flat_targets)
+        out: list[list[tuple[int, float]]] = []
+        width = len(candidates)
+        for i in range(len(sources)):
+            row = flat[i * width : (i + 1) * width]
+            ranked = sorted(zip(candidates, row), key=lambda cd: (cd[1], cd[0]))
+            out.append([(c, d) for c, d in ranked[:k] if d != float("inf")])
+        return out
 
     def reset_counters(self) -> None:
         """Zero the per-experiment query counter."""

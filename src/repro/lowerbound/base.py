@@ -28,7 +28,9 @@ class LowerBounder(abc.ABC):
         vectorisable table (ALT) override it; this default is the
         scalar loop, so any bounder stays batch-compatible.
         """
-        return [self.lower_bound(u, v) for v in others]
+        # Sanctioned per-item fallback: this loop *defines* the batch
+        # semantics every vectorised override must match.
+        return [self.lower_bound(u, v) for v in others]  # ksp: ignore[KSP007]
 
     @abc.abstractmethod
     def memory_bytes(self) -> int:

@@ -22,7 +22,16 @@ Quick use::
         ...  # curl http://127.0.0.1:8080/v1/bknn?vertex=5&k=3&keywords=thai
 """
 
-from repro.api import Hit, Query, QueryResult, UnsupportedQueryError, UpdateOp
+from repro.api import (
+    BatchResult,
+    Hit,
+    Query,
+    QueryBatch,
+    QueryResult,
+    UnsupportedQueryError,
+    UpdateOp,
+    execute_batch,
+)
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
 from repro.serve.cache import ResultCache, result_key
 from repro.serve.cluster import PLACEMENTS, ClusterCoordinator
@@ -37,6 +46,7 @@ from repro.serve.supervisor import Supervisor
 
 __all__ = [
     "PLACEMENTS",
+    "BatchResult",
     "ClusterCoordinator",
     "DeadlineExceeded",
     "Engine",
@@ -46,6 +56,7 @@ __all__ = [
     "LatencyRecorder",
     "LoadResult",
     "Query",
+    "QueryBatch",
     "QueryResult",
     "QueryServer",
     "ReadWriteLock",
@@ -61,6 +72,7 @@ __all__ = [
     "WorkerError",
     "WorkerHandle",
     "WorkerPool",
+    "execute_batch",
     "replay",
     "result_key",
     "shard_of",

@@ -94,6 +94,29 @@ class ResultCache:
             self.hits += 1
             return entry
 
+    def get_many(
+        self, keys: Iterable[CacheKey]
+    ) -> list[list[tuple[int, float]] | None]:
+        """One-lock lookup sweep for a whole batch, order-preserving.
+
+        Equivalent to ``[self.get(k) for k in keys]`` but takes the
+        mutex once, so a batch of N queries costs one lock acquisition
+        instead of N on the serving hot path.  Hit/miss counters and
+        LRU order advance exactly as the sequential form would.
+        """
+        out: list[list[tuple[int, float]] | None] = []
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    out.append(None)
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    out.append(entry)
+        return out
+
     def put(self, key: CacheKey, results: list[tuple[int, float]]) -> None:
         """Store one result, evicting the least recently used on overflow."""
         if self.capacity == 0:
@@ -210,6 +233,13 @@ class HotKeywordAdmission:
         with self._lock:
             for keyword in keywords:
                 self._heat.add(keyword)
+
+    def observe_many(self, keyword_vectors: Iterable[Iterable[str]]) -> None:
+        """Record a whole batch's keyword traffic under one lock."""
+        with self._lock:
+            for keywords in keyword_vectors:
+                for keyword in keywords:
+                    self._heat.add(keyword)
 
     def heat(self, keyword: str) -> int:
         """The keyword's tracked observation count (0 if cold/pruned)."""

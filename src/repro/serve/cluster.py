@@ -34,6 +34,7 @@ import multiprocessing
 import os
 import tempfile
 from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
 
 from repro.analysis.lockdebug import make_lock
 from repro.api import (
@@ -51,11 +52,7 @@ from repro.obs.trace import span as trace_span
 from repro.serve.engine import Engine
 from repro.serve.metrics import merge_latency_payloads
 from repro.serve.ipc import WorkerDied, WorkerError, WorkerHandle, worker_main
-from repro.serve.placement import (
-    KeywordShardRouter,
-    ReplicateRouter,
-    RoutingPlan,
-)
+from repro.serve.placement import KeywordShardRouter, ReplicateRouter
 from repro.serve.supervisor import Supervisor
 from repro.sketch.lossy import LossyCounter
 from repro.sketch.registry import IndexSketches
@@ -299,28 +296,87 @@ class ClusterCoordinator:
     # Queries
     # ------------------------------------------------------------------
     def execute(self, query: Query) -> QueryResult:
-        """Route one query through the placement policy and the workers."""
-        ensure_supported(query, "cluster")
+        """Route one query: a thin shim over a one-element batch."""
+        return self.execute_many((query,))[0]
+
+    def execute_many(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Route a batch of queries with one pipe round-trip per worker.
+
+        The native batch path (``execute`` is a one-element batch):
+        every query is planned individually (so Bloom short-circuits
+        and shard skipping stay per-query exact), the per-worker
+        sub-queries are grouped, and each worker receives its whole
+        share in **one** ``query_batch`` IPC request.  Gathering is one
+        reply per worker; scattered queries are merged per-query with
+        :func:`repro.api.merge_results`.  Result-identical (same hits
+        per query, in order) to sequential execution.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            ensure_supported(query, "cluster")
         if not self._started:
             self.start()
-        with trace_span("cluster.execute", kind=query.kind):
-            plan = self.router.plan(query, self._inflight())
-            if plan.empty:
-                # The sketches proved no shard can contribute a hit:
-                # answer without touching a single worker.  Bloom "no"
-                # has no false negatives, so this is exact, not a guess.
-                with self._stats_lock:
-                    self.sketch_short_circuits += 1
-                with trace_span("cluster.sketch_short_circuit"):
-                    return QueryResult(hits=(), stats=stats_to_dict(None))
+        with trace_span(
+            "cluster.execute",
+            kind=queries[0].kind,
+            batch=len(queries),
+        ):
+            results: list[QueryResult | None] = [None] * len(queries)
+            # Plan each query, then group (query-index, sub-query)
+            # pairs per target worker so one pipe round-trip carries a
+            # worker's entire share of the batch.
+            per_worker: dict[int, list[tuple[int, Query]]] = {}
+            scatter_k: dict[int, int] = {}
+            short_circuits = dispatches = skipped = 0
+            inflight = self._inflight()
+            for i, query in enumerate(queries):
+                plan = self.router.plan(query, inflight)
+                if plan.empty:
+                    # The sketches proved no shard can contribute a
+                    # hit: answer without touching a single worker.
+                    # Bloom "no" has no false negatives, so this is
+                    # exact, not a guess.
+                    short_circuits += 1
+                    with trace_span("cluster.sketch_short_circuit"):
+                        results[i] = QueryResult(
+                            hits=(), stats=stats_to_dict(None)
+                        )
+                    continue
+                dispatches += len(plan.assignments)
+                skipped += len(plan.skipped)
+                for target, subquery in plan.assignments.items():
+                    per_worker.setdefault(target, []).append((i, subquery))
+                if plan.scatter:
+                    scatter_k[i] = max(
+                        subquery.k
+                        for subquery in plan.assignments.values()
+                    )
             with self._stats_lock:
-                self.dispatches += len(plan.assignments)
-                self.sketch_skipped_shards += len(plan.skipped)
-            if not plan.scatter:
-                return self._dispatch(
-                    plan.single_target, plan.assignments[plan.single_target]
-                )
-            return self._scatter(plan)
+                self.sketch_short_circuits += short_circuits
+                self.dispatches += dispatches
+                self.sketch_skipped_shards += skipped
+            if per_worker:
+                assert self._pool is not None
+                parent = current_span()
+                futures = {
+                    target: self._pool.submit(
+                        self._dispatch_batch, target, items, parent
+                    )
+                    for target, items in per_worker.items()
+                }
+                gathered: dict[int, list[QueryResult]] = {}
+                for target, future in futures.items():
+                    for (i, _), part in zip(per_worker[target], future.result()):
+                        gathered.setdefault(i, []).append(part)
+                for i, parts in gathered.items():
+                    if i in scatter_k:
+                        with trace_span("cluster.merge", parts=len(parts)):
+                            results[i] = merge_results(parts, scatter_k[i])
+                    else:
+                        results[i] = parts[0]
+            return [result for result in results if result is not None]
 
     def _inflight(self) -> list[int]:
         return [
@@ -328,37 +384,30 @@ class ClusterCoordinator:
             for h in self.workers
         ]
 
-    def _scatter(self, plan: RoutingPlan) -> QueryResult:
-        assert self._pool is not None
-        # The scatter threads have their own (empty) contexts; hand them
-        # the caller's active span so worker sub-traces land in one tree.
-        parent = current_span()
-        futures = [
-            self._pool.submit(self._dispatch, index, subquery, parent)
-            for index, subquery in plan.assignments.items()
-        ]
-        parts = [future.result() for future in futures]
-        k = max(subquery.k for subquery in plan.assignments.values())
-        with trace_span("cluster.merge", parts=len(parts)):
-            return merge_results(parts, k)
+    def _dispatch_batch(
+        self,
+        target: int,
+        items: Sequence[tuple[int, Query]],
+        parent: Span | None = None,
+    ) -> list[QueryResult]:
+        """Run a worker's whole batch share in one pipe round-trip.
 
-    def _dispatch(
-        self, target: int, query: Query, parent: Span | None = None
-    ) -> QueryResult:
-        """Run ``query`` on ``target``, failing over on worker death.
-
-        Any worker can answer any (sub-)query — every worker holds the
-        full index — so death triggers a walk over the survivors and,
-        if the whole fleet is down, the parent's in-process engine.
-        A :class:`WorkerError` (the worker *answered*, with an error)
-        is deterministic and propagates without retry.
+        ``items`` is this worker's ``(query-index, sub-query)`` share;
+        the reply is order-aligned with it.  On worker death the
+        *whole sub-batch* retries on the survivors (any worker holds
+        the full index), and a fleet with no survivors falls back to
+        the parent's in-process engine — still through the batch path.
+        A :class:`~repro.serve.ipc.WorkerError` (the worker *answered*,
+        with an error) is deterministic and propagates without retry.
 
         When a trace is active (directly or via ``parent`` from a
-        scatter thread), the trace ID rides the query payload to the
+        scatter thread), the trace ID rides the batch payload to the
         worker and the worker's span tree is grafted back under the
         dispatch span.
         """
-        with attach(parent), trace_span("cluster.dispatch", target=target) as dspan:
+        with attach(parent), trace_span(
+            "cluster.dispatch", target=target, batch=len(items)
+        ) as dspan:
             attempts = [target] + [
                 i for i in range(self.num_workers) if i != target
             ]
@@ -367,31 +416,37 @@ class ClusterCoordinator:
                 handle = self.workers[attempt]
                 if handle is None or not handle.is_alive():
                     continue
+                payload: dict = {
+                    "queries": [subquery.to_dict() for _, subquery in items]
+                }
+                if dspan.trace_id:
+                    payload["trace_id"] = dspan.trace_id
                 try:
-                    payload = query.to_dict()
-                    if dspan.trace_id:
-                        payload["trace_id"] = dspan.trace_id
-                    body = handle.request("query", payload)
-                    if died:
-                        with self._stats_lock:
-                            self.retried_requests += 1
-                    worker_trace = (
-                        body.get("trace") if isinstance(body, dict) else None
-                    )
-                    if worker_trace:
-                        dspan.graft(Span.from_dict(worker_trace))
-                    return QueryResult.from_dict(body)
+                    body = handle.request("query_batch", payload)
                 except WorkerDied:
                     died = True
                     self.supervisor.kick()
                     continue
+                if died:
+                    with self._stats_lock:
+                        self.retried_requests += 1
+                worker_trace = (
+                    body.get("trace") if isinstance(body, dict) else None
+                )
+                if worker_trace:
+                    dspan.graft(Span.from_dict(worker_trace))
+                return [
+                    QueryResult.from_dict(item) for item in body["results"]
+                ]
             if died:
                 with self._stats_lock:
                     self.retried_requests += 1
             with self._stats_lock:
-                self.fallback_queries += 1
+                self.fallback_queries += len(items)
             dspan.annotate(fallback=True)
-            return self._fallback.execute(query)
+            return self._fallback.execute_many(
+                [subquery for _, subquery in items]
+            )
 
     # ------------------------------------------------------------------
     # Updates

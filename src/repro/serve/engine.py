@@ -146,16 +146,119 @@ class Engine:
     def execute(self, query: Query) -> QueryResult:
         """Answer one :class:`repro.api.Query` through cache and read lock.
 
-        The canonical entry point; the serving tier (HTTP handlers,
-        cluster workers) calls this with the same :class:`Query` values
-        every other engine accepts.
+        A thin shim over :meth:`execute_many` with a one-element batch
+        (batches are the first-class execution unit); the serving tier
+        (HTTP handlers, cluster workers) calls this with the same
+        :class:`Query` values every other engine accepts.
         """
-        pairs, was_cached, stats = self._run(query)
-        return QueryResult(
-            hits=hits_from_pairs(query.kind, pairs),
-            stats=stats_to_dict(stats),
-            cached=was_cached,
-        )
+        return self.execute_many((query,))[0]
+
+    def execute_many(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Answer a batch of queries with batched cache and lock traffic.
+
+        The native batch path — and the engine's *only* execution path
+        (:meth:`execute` is a one-element batch):
+
+        * one validation pass (an unsupported query raises before any
+          work; callers wanting per-item error isolation go through
+          :func:`repro.api.execute_batch`),
+        * one admission-heat update and **one cache sweep** under a
+          single cache-lock acquisition, splitting hits from misses,
+        * **one read-lock acquisition** for all misses, executed in
+          ascending-vertex order so the per-thread CSR workspace's
+          one-slot SSSP memo amortises same-source queries, with
+          intra-batch duplicate keys computed once.
+
+        Result-identical (same hits per query, in order) to
+        ``[self.execute(q) for q in queries]``.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            ensure_supported(query, "Engine")
+        keys = [
+            result_key(q.vertex, q.keywords, q.k, q.kind, q.mode)
+            for q in queries
+        ]
+        # Heat is observed on every request (hit or miss): admission
+        # measures query traffic, and a hot entry that keeps hitting
+        # must stay hot even though it never re-enters via put().
+        self.admission.observe_many(q.keywords for q in queries)
+        with trace_span("engine.cache_lookup", batch=len(queries)):
+            cached_entries = self.cache.get_many(keys)
+        results: list[QueryResult | None] = [None] * len(queries)
+        for i, entry in enumerate(cached_entries):
+            if entry is not None:
+                self.metrics.record_query_stats(QueryStats(), cached=True)
+                results[i] = QueryResult(
+                    hits=hits_from_pairs(queries[i].kind, entry),
+                    stats=stats_to_dict(QueryStats()),
+                    cached=True,
+                )
+        missing = [i for i in range(len(queries)) if results[i] is None]
+        trace_annotate(cache="miss" if missing else "hit")
+        if missing:
+            processor = self._processor()
+            # Ascending vertex order maximises SSSP-memo reuse; the
+            # stable tiebreak on the original index keeps duplicate
+            # resolution identical to sequential execution.
+            order = sorted(missing, key=lambda i: (queries[i].vertex, i))
+            computed: dict = {}
+            with trace_span("engine.lock_wait"):
+                self.lock.acquire_read()
+            try:
+                for i in order:
+                    query, key = queries[i], keys[i]
+                    if key in computed:
+                        # Intra-batch duplicate: the first occurrence's
+                        # hits are, by definition, this query's answer.
+                        self.metrics.record_query_stats(
+                            QueryStats(), cached=True
+                        )
+                        results[i] = QueryResult(
+                            hits=hits_from_pairs(query.kind, computed[key]),
+                            stats=stats_to_dict(QueryStats()),
+                            cached=True,
+                        )
+                        continue
+                    start = time.perf_counter()
+                    with trace_span("engine.execute", kind=query.kind):
+                        if query.kind == "bknn":
+                            pairs = processor.bknn(
+                                query.vertex,
+                                query.k,
+                                list(query.keywords),
+                                conjunctive=query.conjunctive,
+                            )
+                        else:
+                            pairs = processor.top_k(
+                                query.vertex, query.k, list(query.keywords)
+                            )
+                        stats = processor.last_stats
+                    computed[key] = pairs
+                    # Stored before the read lock drops: a concurrent
+                    # update's invalidation (under the write lock) can
+                    # then never miss this entry and leave a stale
+                    # result behind.  A full cache only admits hot
+                    # keyword vectors — each put there evicts a
+                    # resident, and one-off scans must not churn the
+                    # hot set.
+                    if self.admission.admit(
+                        query.keywords, under_pressure=self.cache.full()
+                    ):
+                        self.cache.put(key, pairs)
+                    self.metrics.record_query_stats(
+                        stats, seconds=time.perf_counter() - start
+                    )
+                    results[i] = QueryResult(
+                        hits=hits_from_pairs(query.kind, pairs),
+                        stats=stats_to_dict(stats),
+                        cached=False,
+                    )
+            finally:
+                self.lock.release_read()
+        return [result for result in results if result is not None]
 
     def bknn(
         self,
@@ -186,55 +289,13 @@ class Engine:
     def _run(
         self, query: Query
     ) -> tuple[list[tuple[int, float]], bool, QueryStats]:
-        """Cache-then-lock execution shared by :meth:`execute` and shims."""
-        ensure_supported(query, "Engine")
-        key = result_key(
-            query.vertex, query.keywords, query.k, query.kind, query.mode
+        """Legacy triple for the deprecated shims, over the batch path."""
+        result = self.execute_many((query,))[0]
+        return (
+            result.pairs(),
+            result.cached,
+            QueryStats.from_dict(result.stats),
         )
-        # Heat is observed on every request (hit or miss): admission
-        # measures query traffic, and a hot entry that keeps hitting
-        # must stay hot even though it never re-enters via put().
-        self.admission.observe(query.keywords)
-        with trace_span("engine.cache_lookup"):
-            cached = self.cache.get(key)
-        if cached is not None:
-            trace_annotate(cache="hit")
-            self.metrics.record_query_stats(QueryStats(), cached=True)
-            return list(cached), True, QueryStats()
-        trace_annotate(cache="miss")
-        processor = self._processor()
-        start = time.perf_counter()
-        with trace_span("engine.lock_wait"):
-            self.lock.acquire_read()
-        try:
-            with trace_span("engine.execute", kind=query.kind):
-                if query.kind == "bknn":
-                    results = processor.bknn(
-                        query.vertex,
-                        query.k,
-                        list(query.keywords),
-                        conjunctive=query.conjunctive,
-                    )
-                else:
-                    results = processor.top_k(
-                        query.vertex, query.k, list(query.keywords)
-                    )
-                stats = processor.last_stats
-            # Stored before the read lock drops: a concurrent update's
-            # invalidation (under the write lock) can then never miss
-            # this entry and leave a stale result behind.  A full cache
-            # only admits hot keyword vectors — each put there evicts a
-            # resident, and one-off scans must not churn the hot set.
-            if self.admission.admit(
-                query.keywords, under_pressure=self.cache.full()
-            ):
-                self.cache.put(key, results)
-        finally:
-            self.lock.release_read()
-        self.metrics.record_query_stats(
-            stats, seconds=time.perf_counter() - start
-        )
-        return list(results), False, stats
 
     # ------------------------------------------------------------------
     # Updates (write side, paper §6.2)

@@ -33,6 +33,11 @@ kept for older clients and answer with a ``Deprecation`` header):
 ``GET/POST /v1/bknn`` / ``/v1/topk``
     Same parameters with ``kind`` pinned; ``keywords`` may be a JSON
     list or comma-separated, ``conjunctive`` is honoured for BkNN.
+``POST /v1/batch``
+    Many queries in one request: ``{"queries": [query-object, ...]}``.
+    Answers per item (``{"items": [{"ok": ..., "result"|"error": ...}]}``,
+    order-aligned); one bad query yields a per-item error object, never
+    a whole-batch 400.  Rate limiting charges the batch its *size*.
 ``POST /v1/update``
     A :class:`repro.api.UpdateOp` as JSON (paper §6.2 operations).
 ``GET /v1/healthz``
@@ -79,7 +84,9 @@ class BadRequest(ValueError):
 
 
 #: Endpoint names the router recognises (without the /v1 prefix).
-_ENDPOINTS = ("/query", "/bknn", "/topk", "/update", "/healthz", "/metrics")
+_ENDPOINTS = (
+    "/query", "/batch", "/bknn", "/topk", "/update", "/healthz", "/metrics",
+)
 
 #: Query endpoints that get a root trace span at ingress.
 _TRACED = ("/query", "/bknn", "/topk")
@@ -87,7 +94,9 @@ _TRACED = ("/query", "/bknn", "/topk")
 #: Endpoints subject to per-client rate limits.  Health and metrics
 #: stay reachable even for a limited client — operators debugging an
 #: overload must never be locked out by the very limiter they tune.
-_RATE_LIMITED = ("/query", "/bknn", "/topk", "/update")
+#: ``/batch`` is charged its *batch size* (one token per carried
+#: query), so batching cannot bypass a per-query budget.
+_RATE_LIMITED = ("/query", "/batch", "/bknn", "/topk", "/update")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -183,9 +192,30 @@ class _Handler(BaseHTTPRequestHandler):
         start = time.perf_counter()
         metrics = self.server.metrics
         limiter = self.server.rate_limiter
+        # A batch is charged one token per carried query, which means
+        # its body must be read *before* the limiter check (the body
+        # can only be read once; the parsed params are handed down to
+        # the handler).  A malformed envelope is a plain 400 here —
+        # per-item isolation only applies to well-formed batches.
+        batch_params: dict | None = None
+        cost = 1.0
+        if endpoint == "/batch":
+            try:
+                batch_params = self._params()
+            except BadRequest as error:
+                metrics.record_request(
+                    endpoint, time.perf_counter() - start, error=True
+                )
+                self._send_error(
+                    400, "bad_request", str(error), deprecated=deprecated
+                )
+                return
+            raw_queries = batch_params.get("queries")
+            if isinstance(raw_queries, list) and raw_queries:
+                cost = float(len(raw_queries))
         if limiter is not None and endpoint in _RATE_LIMITED:
             client = self.headers.get("X-Client-Id") or self.client_address[0]
-            retry_after = limiter.check(client)
+            retry_after = limiter.check(client, cost=cost)
             if retry_after is not None:
                 metrics.record_rate_limited(time.perf_counter() - start)
                 try:
@@ -220,6 +250,8 @@ class _Handler(BaseHTTPRequestHandler):
                 }
             elif endpoint in ("/query", "/bknn", "/topk"):
                 reply = self._handle_query(endpoint)
+            elif endpoint == "/batch":
+                reply = self._handle_batch(batch_params or {})
             elif endpoint == "/update":
                 reply = self._handle_update()
             else:
@@ -334,6 +366,70 @@ class _Handler(BaseHTTPRequestHandler):
                 raise BadRequest(str(error)) from None
             root.annotate(cached=answer.cached)
         return answer.to_dict()
+
+    def _handle_batch(self, params: dict) -> dict:
+        """``POST /v1/batch``: many queries, one request, per-item errors.
+
+        The envelope is ``{"queries": [query-object, ...]}`` and the
+        reply mirrors :meth:`repro.api.BatchResult.to_dict`:
+        ``{"items": [{"ok": true, "result": ...} | {"ok": false,
+        "error": {...}}, ...]}`` order-aligned with the request.  One
+        bad query yields a per-item ``error`` object — never a
+        whole-batch 400; only a malformed envelope (no ``queries``
+        list) fails the request as a whole.
+        """
+        from repro.api import QueryBatch, batch_error_object, execute_batch
+
+        if self.command != "POST":
+            raise BadRequest("/batch requires POST")
+        raw_queries = params.get("queries")
+        if not isinstance(raw_queries, list) or not raw_queries:
+            raise BadRequest("batch payload needs a non-empty 'queries' list")
+        results: list[QueryResult | None] = [None] * len(raw_queries)
+        errors: list[dict | None] = [None] * len(raw_queries)
+        valid: list[tuple[int, Query]] = []
+        for i, item in enumerate(raw_queries):
+            try:
+                if not isinstance(item, dict):
+                    raise BadRequest("each batch entry must be a JSON object")
+                valid.append((i, Query.from_dict(item)))
+            except Exception as exc:  # noqa: PERF203 - per-item isolation
+                errors[i] = batch_error_object(exc)
+        backend = self.server.backend
+        self.server.metrics.record_batch(len(raw_queries))
+        # One root span for the whole batch; the backend's batched path
+        # contributes the per-query child spans (engine.execute per
+        # miss, cluster.dispatch per worker share).
+        with TRACER.trace("http.batch", batch=len(raw_queries)) as root:
+            submitted = time.perf_counter()
+            if valid:
+                batch = QueryBatch(tuple(query for _, query in valid))
+
+                def call() -> "object":
+                    waited = time.perf_counter() - submitted
+                    with attach(root):
+                        root.add_time("admission.wait", waited)
+                        return execute_batch(backend, batch)
+
+                answer = self.server.pool.run(call, deadline=self.server.deadline)
+                for (i, _), result, error in zip(
+                    valid, answer.results, answer.errors
+                ):
+                    results[i] = result
+                    errors[i] = error
+            ok_count = sum(1 for result in results if result is not None)
+            root.annotate(ok=ok_count, failed=len(raw_queries) - ok_count)
+        items = []
+        for result, error in zip(results, errors):
+            if result is not None:
+                items.append({"ok": True, "result": result.to_dict()})
+            else:
+                items.append({"ok": False, "error": error or {}})
+        return {
+            "items": items,
+            "count": len(items),
+            "ok_count": ok_count,
+        }
 
     def _handle_update(self) -> dict:
         if self.command != "POST":
@@ -459,6 +555,7 @@ class QueryServer(ThreadingHTTPServer):
         for key in (
             "requests", "requests_total", "errors", "shed", "timeouts",
             "rate_limited", "latency", "error_latency", "endpoints",
+            "batch_size",
         ):
             snapshot[key] = http[key]
         if self.rate_limiter is not None:

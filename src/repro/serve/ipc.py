@@ -154,16 +154,24 @@ def worker_main(
     Protocol (all messages are ``(kind, payload)`` tuples, replies are
     ``("ok", body)`` or ``("err", (code, message))``):
 
-    ==========  =====================  ==============================
-    kind        payload                ok body
-    ==========  =====================  ==============================
-    query       ``Query.to_dict()``    ``QueryResult.to_dict()``
-    update      ``UpdateOp.to_dict()`` engine ``apply`` summary dict
-    ping        ``None``               ``"pong"``
-    metrics     ``None``               ``engine.metrics_snapshot()``
-    health      ``None``               ``engine.health()``
-    stop        ``None``               ``"bye"`` (then exit)
-    ==========  =====================  ==============================
+    ===========  ======================  ==============================
+    kind         payload                 ok body
+    ===========  ======================  ==============================
+    query        ``Query.to_dict()``     ``QueryResult.to_dict()``
+    query_batch  ``{"queries": [...]}``  ``{"results": [...]}``
+    update       ``UpdateOp.to_dict()``  engine ``apply`` summary dict
+    ping         ``None``                ``"pong"``
+    metrics      ``None``                ``engine.metrics_snapshot()``
+    health       ``None``                ``engine.health()``
+    stop         ``None``                ``"bye"`` (then exit)
+    ===========  ======================  ==============================
+
+    ``query_batch`` is the batched hot path: the payload carries every
+    sub-query assigned to this worker for one client batch, the worker
+    answers them through :meth:`Engine.execute_many` (one cache sweep,
+    one read-lock acquisition), and the reply's ``results`` list is
+    order-aligned with the request.  One pipe round-trip amortises
+    pickling and scheduling over the whole share.
     """
     from repro.serve.engine import Engine  # deferred: keep spawn imports light
 
@@ -206,6 +214,38 @@ def worker_main(
                     cached=result.cached,
                     worker=name,
                 ).to_dict()
+                if root is not None:
+                    body["trace"] = root.to_dict()
+                reply = ("ok", body)
+            elif kind == "query_batch":
+                trace_id = None
+                if isinstance(payload, dict):
+                    trace_id = payload.get("trace_id")
+                    raw_queries = payload.get("queries", [])
+                else:
+                    raw_queries = []
+                queries = [Query.from_dict(item) for item in raw_queries]
+                if trace_id:
+                    with TRACER.trace(
+                        "worker.query", trace_id=trace_id, force=True
+                    ) as root:
+                        root.worker = name
+                        root.annotate(batch=len(queries))
+                        answers = engine.execute_many(queries)
+                else:
+                    root = None
+                    answers = engine.execute_many(queries)
+                body = {
+                    "results": [
+                        QueryResult(
+                            hits=answer.hits,
+                            stats=answer.stats,
+                            cached=answer.cached,
+                            worker=name,
+                        ).to_dict()
+                        for answer in answers
+                    ]
+                }
                 if root is not None:
                     body["trace"] = root.to_dict()
                 reply = ("ok", body)

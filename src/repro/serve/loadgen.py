@@ -95,6 +95,14 @@ class ServeClient:
             "/v1/topk", {"vertex": vertex, "k": k, "keywords": list(keywords)}
         )
 
+    def batch(self, queries: list[dict]) -> dict:
+        """POST many query dicts to ``/v1/batch`` in one request.
+
+        Returns the raw batch result: ``{"items": [...], "count": ...,
+        "ok_count": ...}`` with per-item ``ok``/``result``/``error``.
+        """
+        return self._request("/v1/batch", {"queries": list(queries)})
+
     def update(self, **payload) -> dict:
         return self._request("/v1/update", payload)
 
@@ -150,6 +158,7 @@ def replay(
     k: int = 10,
     kind: str = "bknn",
     clients: int = 1,
+    batch: int = 1,
 ) -> LoadResult:
     """Fire ``queries`` at the server from ``concurrency`` threads.
 
@@ -162,11 +171,19 @@ def replay(
     passed client's id or ``"loadgen"``) so per-client rate limiting is
     exercisable: one greedy identity trips 429s without starving the
     rest.
+
+    ``batch`` groups the workload into ``/v1/batch`` requests of that
+    many queries each (1 keeps the per-query endpoints).  Counters stay
+    *per query*: ``requests``/``ok``/``qps`` count queries so batched
+    and unbatched runs compare directly; a refused batch counts every
+    carried query as refused (the server charges the same way).
     """
     if concurrency < 1:
         raise ValueError("concurrency must be positive")
     if clients < 1:
         raise ValueError("clients must be positive")
+    if batch < 1:
+        raise ValueError("batch must be positive")
     if kind not in ("bknn", "topk"):
         raise ValueError("kind must be 'bknn' or 'topk'")
     base_id = client.client_id or "loadgen"
@@ -184,35 +201,83 @@ def replay(
     recorder = LatencyRecorder()
     outcomes = {"ok": 0, "shed": 0, "limited": 0, "errors": 0, "cache_hits": 0}
 
-    def fire(task: tuple[int, Query]) -> tuple[str, float, bool]:
+    def refusal_status(error: urllib.error.HTTPError) -> str:
+        if error.code == 429:
+            return "limited"
+        if error.code == 503:
+            return "shed"
+        return "errors"
+
+    def fire(task: tuple[int, Query]) -> tuple[dict[str, int], float]:
         index, query = task
         sender = identities[index % len(identities)]
+        counts = {"ok": 0, "shed": 0, "limited": 0, "errors": 0, "cache_hits": 0}
         start = time.perf_counter()
         try:
             if kind == "bknn":
                 body = sender.bknn(query.vertex, k, list(query.keywords))
             else:
                 body = sender.top_k(query.vertex, k, list(query.keywords))
-            return "ok", time.perf_counter() - start, bool(body.get("cached"))
+            counts["ok"] = 1
+            counts["cache_hits"] = 1 if body.get("cached") else 0
         except urllib.error.HTTPError as error:
-            if error.code == 429:
-                status = "limited"
-            elif error.code == 503:
-                status = "shed"
-            else:
-                status = "errors"
-            return status, time.perf_counter() - start, False
+            counts[refusal_status(error)] = 1
         except Exception:
-            return "errors", time.perf_counter() - start, False
+            counts["errors"] = 1
+        return counts, time.perf_counter() - start
+
+    def fire_batch(task: tuple[int, list[Query]]) -> tuple[dict[str, int], float]:
+        """One ``/v1/batch`` request; counts are per carried query.
+
+        Per-item failures (``ok: false`` entries) count as errors while
+        the rest of the batch still counts as ok — mirroring the
+        server's isolation contract.  A whole-request refusal (429/503)
+        charges every carried query, matching the limiter's accounting.
+        """
+        index, chunk = task
+        sender = identities[index % len(identities)]
+        payloads = [
+            {
+                "vertex": query.vertex,
+                "k": k,
+                "keywords": list(query.keywords),
+                "kind": kind,
+            }
+            for query in chunk
+        ]
+        counts = {"ok": 0, "shed": 0, "limited": 0, "errors": 0, "cache_hits": 0}
+        start = time.perf_counter()
+        try:
+            body = sender.batch(payloads)
+            items = body.get("items", [])
+            for item in items:
+                if item.get("ok"):
+                    counts["ok"] += 1
+                    if (item.get("result") or {}).get("cached"):
+                        counts["cache_hits"] += 1
+                else:
+                    counts["errors"] += 1
+        except urllib.error.HTTPError as error:
+            counts[refusal_status(error)] = len(chunk)
+        except Exception:
+            counts["errors"] = len(chunk)
+        return counts, time.perf_counter() - start
+
+    if batch == 1:
+        worker = fire
+        tasks: list = list(enumerate(queries))
+    else:
+        worker = fire_batch
+        chunks = [queries[i : i + batch] for i in range(0, len(queries), batch)]
+        tasks = list(enumerate(chunks))
 
     start = time.perf_counter()
     with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
-        for status, seconds, cached in pool.map(fire, enumerate(queries)):
-            outcomes[status] += 1
-            if status == "ok":
+        for counts, seconds in pool.map(worker, tasks):
+            for key, value in counts.items():
+                outcomes[key] += value
+            if counts["ok"]:
                 recorder.record(seconds)
-                if cached:
-                    outcomes["cache_hits"] += 1
     elapsed = time.perf_counter() - start
     return LoadResult(
         concurrency=concurrency,
@@ -228,6 +293,7 @@ def replay(
         p99_ms=recorder.percentile(99) * 1000.0,
         cache_hits=outcomes["cache_hits"],
         limited=outcomes["limited"],
+        details={"batch": batch, "http_requests": len(tasks)},
     )
 
 
@@ -256,6 +322,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=1,
                         help="distinct client identities spread over the "
                              "requests (default 1)")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="queries per /v1/batch request; 1 keeps the "
+                             "per-query endpoints (default 1)")
     parser.add_argument("--kind", default="bknn", choices=["bknn", "topk"])
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--terms", type=int, default=2,
@@ -277,6 +346,7 @@ def main(argv: list[str] | None = None) -> int:
         k=args.k,
         kind=args.kind,
         clients=args.clients,
+        batch=args.batch,
     )
     print(json.dumps(result.as_dict(), indent=2))
     return 0

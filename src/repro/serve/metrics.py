@@ -75,6 +75,7 @@ class ServerMetrics:
         self.rate_limited = 0
         self._stats_totals = QueryStats()
         self.queries_served = 0
+        self._batch_size = LogHistogram()
 
     # ------------------------------------------------------------------
     # Recording
@@ -151,6 +152,17 @@ class ServerMetrics:
             if not cached:
                 self._stats_totals.merge(stats)
 
+    def record_batch(self, size: int) -> None:
+        """One ``/v1/batch`` request carrying ``size`` queries.
+
+        The distribution (not just a mean) matters: a fleet mixing
+        batch-1 probes with batch-128 bulk readers looks healthy on
+        averages while the tail drives queueing — the histogram keeps
+        both visible.
+        """
+        with self._lock:
+            self._batch_size.record(float(size))
+
     def record_stage(self, stage: str, seconds: float) -> None:
         """One per-query total for a traced stage (span or timer name)."""
         with self._lock:
@@ -208,4 +220,13 @@ class ServerMetrics:
                     for stage, recorder in self._stage_latency.items()
                 },
                 "query_stats": self._stats_totals.to_dict(),
+                "batch_size": {
+                    # Unit-less (query counts, not seconds): the raw
+                    # bucket payload merges like every other histogram.
+                    **self._batch_size.to_dict(),
+                    "mean": self._batch_size.mean(),
+                    "p50": self._batch_size.percentile(50),
+                    "p95": self._batch_size.percentile(95),
+                    "p99": self._batch_size.percentile(99),
+                },
             }

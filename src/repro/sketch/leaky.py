@@ -128,12 +128,17 @@ class ClientRateLimiter:
         self.allowed = 0
         self.limited = 0
 
-    def check(self, client: str) -> float | None:
-        """Charge one request to ``client``.
+    def check(self, client: str, cost: float = 1.0) -> float | None:
+        """Charge ``cost`` tokens to ``client`` (one per carried query).
 
-        Returns ``None`` when admitted, or the ``Retry-After`` seconds
-        when the client is over its limit.
+        A plain request costs 1; a ``/v1/batch`` request costs its batch
+        size so batching cannot bypass the limit.  Returns ``None`` when
+        admitted, or the ``Retry-After`` seconds until the *whole*
+        charge would fit.  A cost above ``capacity`` can never fit and
+        always limits (callers should split such batches).
         """
+        if cost <= 0.0:
+            raise ValueError("cost must be positive")
         with self._lock:
             bucket = self._buckets.get(client)
             if bucket is None:
@@ -141,7 +146,7 @@ class ClientRateLimiter:
                     self._prune_locked()
                 bucket = LeakyBucket(self.rate, self.capacity, clock=self._clock)
                 self._buckets[client] = bucket
-            retry_after = bucket.try_acquire()
+            retry_after = bucket.try_acquire(cost)
             if retry_after is None:
                 self.allowed += 1
             else:

@@ -1,0 +1,34 @@
+"""Seeded KSP007 violation: a *_many body looping over a per-item shim."""
+
+
+class Oracle:
+    def distance(self, source: int, target: int) -> float:
+        return float(abs(source - target))
+
+    def distances_many(self, sources, targets):
+        # violation: re-serialises the batch one query at a time
+        return [self.distance(s, t) for s, t in zip(sources, targets)]
+
+    def distances_many_native(self, sources, targets):
+        rows = self._rows(sorted(set(sources)))  # fine: one batched call
+        return [rows[s][t] for s, t in zip(sources, targets)]
+
+    def _rows(self, sources):
+        return {s: {t: float(abs(s - t)) for t in range(10)} for s in sources}
+
+
+class Engine:
+    def execute(self, query):
+        return query
+
+    def execute_many(self, queries):
+        answers = []
+        for query in queries:
+            answers.append(self.execute(query))  # violation: per-item loop
+        return answers
+
+    def execute_from_many(self, queries):
+        # fine: the iterable of a ``for`` is evaluated once, and the
+        # function name carries no batch suffix anyway
+        source = self.execute(queries[0])
+        return [source for _ in queries]

@@ -31,6 +31,7 @@ FIXTURE_CASES = [
     ("ksp004_nondeterminism.py", "KSP004", 2),
     ("ksp005_swallowed_exception.py", "KSP005", 2),
     ("ksp006_lambda_over_ipc.py", "KSP006", 2),
+    ("ksp007_batch_shim_loop.py", "KSP007", 2),
 ]
 
 

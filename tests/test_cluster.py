@@ -480,3 +480,107 @@ class TestClusterObservability:
             )
             assert worker_root.worker in ("worker-0", "worker-1")
             assert worker_root.trace_id == root.trace_id
+
+
+# ----------------------------------------------------------------------
+# Batched execution: one pipe round trip per worker, identical results
+# ----------------------------------------------------------------------
+class TestClusterBatches:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_execute_many_matches_sequential(
+        self, data, cluster, kspin, keywords
+    ):
+        """Property: batched == one-at-a-time, under either placement."""
+        queries = data.draw(
+            st.lists(
+                st.builds(
+                    Query,
+                    vertex=st.integers(
+                        min_value=0, max_value=kspin.graph.num_vertices - 1
+                    ),
+                    keywords=st.lists(
+                        st.sampled_from(keywords[:12]),
+                        min_size=1,
+                        max_size=3,
+                        unique=True,
+                    ).map(tuple),
+                    k=st.integers(min_value=1, max_value=6),
+                    kind=st.sampled_from(["bknn", "topk"]),
+                    mode=st.just("or"),
+                ),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        batched = cluster.execute_many(queries)
+        sequential = [cluster.execute(query) for query in queries]
+        assert [r.hits for r in batched] == [r.hits for r in sequential]
+        for result, query in zip(batched, queries):
+            assert results_equivalent(result.pairs(), _direct(kspin, query))
+
+    @pytest.mark.parametrize("placement", ["replicate", "shard-by-keyword"])
+    @pytest.mark.parametrize("sketch", [True, False])
+    def test_mixed_batch_with_caches(self, kspin, keywords, placement, sketch):
+        """Hits, misses, duplicates, and empty answers in one batch.
+
+        ``dead`` is conjunctive on a provably-absent keyword (the sketch
+        short-circuits it when routing is on; a worker answers it empty
+        when off) — either way the batch must match sequential execution
+        and the single-process reference.
+        """
+        dead = Query(
+            vertex=0, keywords=(keywords[0], "zz-missing"), k=3, mode="and"
+        )
+        hot = Query(vertex=1, keywords=(keywords[0],), k=4)
+        cold = Query(vertex=5, keywords=tuple(keywords[1:3]), k=3)
+        top = Query(vertex=2, keywords=(keywords[3],), k=2, kind="topk")
+        batch = [hot, dead, cold, hot, top]
+        with ClusterCoordinator(
+            kspin,
+            num_workers=2,
+            placement=placement,
+            cache_size=64,
+            sketch_routing=sketch,
+            supervise=False,
+        ) as coordinator:
+            coordinator.execute(hot)  # warm: the batch mixes hits and misses
+            batched = coordinator.execute_many(batch)
+            sequential = [coordinator.execute(query) for query in batch]
+        assert [r.hits for r in batched] == [r.hits for r in sequential]
+        assert batched[1].hits == ()
+        assert batched[0].hits == batched[3].hits  # in-batch duplicate
+        for result, query in zip(batched, batch):
+            assert results_equivalent(result.pairs(), _direct(kspin, query))
+
+    def test_batch_is_one_round_trip_per_worker(self, kspin, keywords):
+        """A scattered batch dispatches once per worker, not per query."""
+        with ClusterCoordinator(
+            kspin, num_workers=2, cache_size=0, supervise=False
+        ) as coordinator:
+            before = coordinator.metrics_snapshot()["cluster"]
+            batch = [
+                Query(vertex=v, keywords=(keywords[v % 4],), k=2)
+                for v in range(6)
+            ]
+            coordinator.execute_many(batch)
+            after = coordinator.metrics_snapshot()["cluster"]
+            # Replicate placement: each query goes to one worker, so six
+            # queries dispatch six times but ride at most two pipe
+            # round trips (requests counts pipe messages per worker; the
+            # 'after' snapshot itself costs one metrics probe per
+            # worker, hence the +2 allowance — per-query dispatch would
+            # show 6 + 2 here).
+            assert after["dispatches"] - before["dispatches"] == 6
+            trips = sum(
+                entry["requests"]
+                for entry in after["worker_status"].values()
+            ) - sum(
+                entry["requests"]
+                for entry in before["worker_status"].values()
+            )
+            assert trips <= 2 + 2

@@ -312,3 +312,137 @@ class TestOverload:
             finally:
                 release.set()
             assert server.metrics_snapshot()["timeouts"] >= 1
+
+
+# ----------------------------------------------------------------------
+# POST /v1/batch: one envelope, per-item outcomes
+# ----------------------------------------------------------------------
+class TestBatchEndpoint:
+    def _post_batch(self, server, queries, client_id=None):
+        headers = {"Content-Type": "application/json"}
+        if client_id is not None:
+            headers["X-Client-Id"] = client_id
+        request = urllib.request.Request(
+            f"{server.url}/v1/batch",
+            data=json.dumps({"queries": queries}).encode(),
+            headers=headers,
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())["result"]
+
+    def test_batch_matches_per_query_endpoints(self, server, client, kspin):
+        queries = [
+            {"vertex": 0, "k": 3, "keywords": ["kw0000"]},
+            {"vertex": 5, "k": 2, "keywords": ["kw0001", "kw0002"]},
+            {"vertex": 2, "k": 2, "keywords": ["kw0003"], "kind": "topk"},
+        ]
+        body = self._post_batch(server, queries)
+        assert body["count"] == 3 and body["ok_count"] == 3
+        singles = [
+            client.bknn(0, 3, ["kw0000"]),
+            client.bknn(5, 2, ["kw0001", "kw0002"]),
+            client.top_k(2, 2, ["kw0003"]),
+        ]
+        for item, single in zip(body["items"], singles):
+            assert item["ok"] is True
+            assert item["result"]["hits"] == single["hits"]
+
+    def test_bad_item_is_isolated_never_whole_batch_400(self, server):
+        queries = [
+            {"vertex": 0, "k": 2, "keywords": ["kw0000"]},
+            # conjunctive top-k: definitionally unsupported
+            {"vertex": 0, "k": 2, "keywords": ["kw0000", "kw0001"],
+             "kind": "topk", "mode": "and"},
+            {"vertex": 1, "k": 2, "keywords": ["kw0001"]},
+        ]
+        body = self._post_batch(server, queries)  # HTTP 200, not 400
+        assert body["count"] == 3 and body["ok_count"] == 2
+        assert body["items"][0]["ok"] and body["items"][2]["ok"]
+        failed = body["items"][1]
+        assert failed["ok"] is False
+        assert failed["error"]["code"] == "bad_request"
+        assert "message" in failed["error"]
+
+    def test_unparseable_item_is_isolated_too(self, server):
+        queries = [
+            {"vertex": 0, "k": 2, "keywords": ["kw0000"]},
+            {"vertex": 0, "k": 2},  # no keywords: invalid Query
+        ]
+        body = self._post_batch(server, queries)
+        assert body["ok_count"] == 1
+        assert body["items"][1]["ok"] is False
+        assert body["items"][1]["error"]["code"] == "bad_request"
+
+    def test_malformed_envelope_is_whole_batch_400(self, server):
+        for payload in ({}, {"queries": []}, {"queries": "nope"}):
+            request = urllib.request.Request(
+                f"{server.url}/v1/batch",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_get_is_bad_request(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/v1/batch", timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_metrics_expose_batch_size_histogram(self, server, client):
+        self._post_batch(server, [
+            {"vertex": 0, "k": 2, "keywords": ["kw0000"]},
+            {"vertex": 1, "k": 2, "keywords": ["kw0001"]},
+        ])
+        metrics = client.metrics()
+        sizes = metrics["batch_size"]
+        assert sizes["count"] == 1
+        assert sizes["mean"] == pytest.approx(2.0, rel=0.2)  # log buckets
+
+    def test_batch_charged_its_size_by_rate_limiter(self, kspin):
+        engine = Engine(kspin, cache_size=0)
+        with QueryServer(
+            engine, port=0, workers=4, rate_limit=1.0, rate_burst=4.0
+        ).start_background() as running:
+            queries = [
+                {"vertex": v, "k": 2, "keywords": ["kw0000"]}
+                for v in range(3)
+            ]
+            # 3 of 4 burst tokens: admitted.
+            assert self._post_batch(running, queries, "bulk")["ok_count"] == 3
+            # 3 more would need 6 > 4: refused atomically, with a
+            # Retry-After covering the *whole* batch.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post_batch(running, queries, "bulk")
+            assert excinfo.value.code == 429
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["code"] == "rate_limited"
+            assert int(excinfo.value.headers["Retry-After"]) >= 2
+            # Another identity is unaffected.
+            assert self._post_batch(running, queries, "solo")["ok_count"] == 3
+
+    def test_batch_trace_has_per_query_children(self, kspin):
+        engine = Engine(kspin, cache_size=0)
+        with QueryServer(
+            engine, port=0, workers=4, trace=True
+        ).start_background() as running:
+            self._post_batch(running, [
+                {"vertex": 0, "k": 2, "keywords": ["kw0000"]},
+                {"vertex": 3, "k": 2, "keywords": ["kw0001"]},
+            ])
+            with urllib.request.urlopen(
+                f"{running.url}/v1/debug/traces", timeout=30
+            ) as response:
+                body = json.loads(response.read())["result"]
+            trace = next(
+                t for t in body["recent"] if t["name"] == "http.batch"
+            )
+            assert trace["attrs"]["batch"] == 2
+            names = [
+                node["name"]
+                for child in trace.get("children", ())
+                for node in [child, *child.get("children", ())]
+            ]
+            assert "engine.execute" in names
