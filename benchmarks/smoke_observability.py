@@ -10,20 +10,33 @@ validates:
 * every histogram's ``_bucket`` series is cumulative and consistent with
   its ``_count``,
 * request totals in the exposition match the load that was offered,
-* the trace ring buffer holds span trees with engine/processor stages.
+* the trace ring buffer holds span trees with engine/processor stages,
+* the sampling profiler round-trips over ``/v1/debug/profile`` and its
+  **enabled overhead stays within budget**: a profiled replay's p50 may
+  exceed the unprofiled p50 by at most ``PROFILER_BUDGET`` (plus a small
+  absolute floor so one-core CI jitter cannot flake the gate), and a
+  collapsed flame-graph artifact is written,
+* the flight recorder captured the run's cache evictions and serves
+  them causally ordered at ``/v1/debug/events``,
+* a synthetic error burst flips a declared SLO ok -> burning -> ok and
+  the ``repro_slo_*`` gauges follow.
 
 Run: ``PYTHONPATH=src python benchmarks/smoke_observability.py``
 """
 
 import json
+import os
 import re
 import sys
+import time
+import urllib.error
 import urllib.request
 
 from repro.core import KSpin
 from repro.datasets import WorkloadGenerator, load_dataset
 from repro.distance import DijkstraOracle
 from repro.lowerbound import AltLowerBounder
+from repro.obs.slo import SloObjective
 from repro.serve import Engine, QueryServer, ServeClient, replay
 
 DATASET = "DE-S"
@@ -31,6 +44,16 @@ REQUESTS = 60
 NUM_DISTINCT = 12
 CONCURRENCY = 4
 K = 5
+
+#: Enabled-profiler p50 regression budget: 10% relative, with an
+#: absolute floor so sub-millisecond medians on a noisy one-core CI
+#: runner cannot flake the gate on scheduler jitter alone.
+PROFILER_BUDGET = 0.10
+PROFILER_FLOOR_MS = 1.0
+
+ARTIFACT = os.path.join(
+    os.path.dirname(__file__), "results", "smoke_profile.collapsed"
+)
 
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
@@ -100,7 +123,10 @@ def main() -> int:
 
     engine = Engine(kspin, cache_size=256)
     with QueryServer(
-        engine, port=0, workers=4, trace=True, slow_query_threshold=0.0
+        engine, port=0, workers=4, trace=True, slow_query_threshold=0.0,
+        slo_objectives=[SloObjective("availability", target=0.9)],
+        slo_windows=(("fast", 0.2, 0.5, 1.5),),
+        slo_interval=0.0,  # the smoke drives evaluation explicitly
     ).start_background() as server:
         client = ServeClient(server.url)
         result = replay(client, queries, CONCURRENCY, k=K, kind="bknn")
@@ -142,8 +168,97 @@ def main() -> int:
         assert "engine.execute" in stages, stages
         print(f"traces: {len(traces['recent'])} buffered, "
               f"stages seen: {sorted(stages)}")
+
+        check_profiler_overhead(server, client, queries)
+        check_flight_recorder(server, client)
+        check_slo_burn_cycle(server, client)
     print("observability smoke: OK")
     return 0
+
+
+def check_profiler_overhead(server, client, queries) -> None:
+    """Enabled-profiler p50 must stay within the regression budget."""
+    baseline = replay(client, queries, CONCURRENCY, k=K, kind="bknn")
+    _get(f"{server.url}/v1/debug/profile?action=start&hz=97")
+    profiled = replay(client, queries, CONCURRENCY, k=K, kind="bknn")
+    payload = json.loads(
+        _get(f"{server.url}/v1/debug/profile?action=stop")
+    )["result"]
+    assert payload["enabled"] is False
+    profilers = payload.get("profilers") or []
+    samples = sum(int(p.get("samples", 0)) for p in profilers)
+    assert samples > 0, "profiler collected nothing during the replay"
+    budget_ms = max(
+        baseline.p50_ms * (1.0 + PROFILER_BUDGET),
+        baseline.p50_ms + PROFILER_FLOOR_MS,
+    )
+    assert profiled.p50_ms <= budget_ms, (
+        f"profiler overhead blew the budget: p50 {baseline.p50_ms:.3f} -> "
+        f"{profiled.p50_ms:.3f} ms (budget {budget_ms:.3f} ms)"
+    )
+    collapsed = _get(f"{server.url}/v1/debug/profile?format=collapsed")
+    assert collapsed.strip(), "empty collapsed flame graph"
+    for line in filter(None, collapsed.split("\n")):
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) >= 1 and stack, f"bad collapsed line {line!r}"
+    os.makedirs(os.path.dirname(ARTIFACT), exist_ok=True)
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        handle.write(collapsed)
+    print(f"profiler: {samples} samples, p50 {baseline.p50_ms:.2f} -> "
+          f"{profiled.p50_ms:.2f} ms (budget {budget_ms:.2f} ms); "
+          f"artifact {os.path.relpath(ARTIFACT)}")
+
+
+def check_flight_recorder(server, client) -> None:
+    """The run's cache evictions must appear, causally ordered."""
+    client.bknn(0, K, ["kw0000"])  # ensure one cached entry ...
+    client.update(op="insert", object=1, document=["kw0000"])  # ... evicted
+    payload = json.loads(_get(f"{server.url}/v1/debug/events"))["result"]
+    events = payload["events"]
+    assert events, "flight recorder is empty after a full replay"
+    kinds = {event["kind"] for event in events}
+    assert "cache.evict" in kinds, kinds
+    last_seq: dict = {}
+    for event in events:
+        source = event["source"]
+        assert event["seq"] > last_seq.get(source, 0), "seq regressed"
+        last_seq[source] = event["seq"]
+    print(f"events: {len(events)} buffered from {sorted(last_seq)}, "
+          f"kinds {sorted(kinds)}")
+
+
+def check_slo_burn_cycle(server, client) -> None:
+    """A synthetic error burst flips the objective ok -> burning -> ok."""
+    server.evaluate_slo()  # baseline sample
+    payload = server.evaluate_slo()
+    assert payload["burning"] == [], payload["burning"]
+    for _ in range(40):  # synthetic failure injection: guaranteed 404s
+        try:
+            _get(f"{server.url}/v1/no-such-endpoint")
+        except urllib.error.HTTPError:
+            pass
+    time.sleep(0.05)
+    payload = server.evaluate_slo()
+    assert payload["burning"] == ["availability"], payload
+    text = _get(f"{server.url}/v1/metrics?format=prometheus")
+    assert 'repro_slo_burning{objective="availability"} 1' in text
+    assert "repro_admission_pressure 0.5" in text
+    for _ in range(10):  # recovery traffic, then wait out the window
+        client.bknn(0, K, ["kw0000"])
+    time.sleep(0.25)
+    server.evaluate_slo()
+    time.sleep(0.05)
+    payload = server.evaluate_slo()
+    assert payload["burning"] == [], payload["burning"]
+    transitions = payload["objectives"]["availability"]["transitions"]
+    assert transitions == 2, transitions
+    print("slo: availability flipped ok -> burning -> ok "
+          f"({transitions} transitions), admission pressure restored")
+
+
+def _get(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.read().decode()
 
 
 def _walk(node: dict):

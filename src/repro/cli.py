@@ -14,6 +14,14 @@ Commands
 ``explain``
     Run one query under a forced trace and pretty-print its span tree
     with per-stage timings and the §5.1 cost counters.
+``profile``
+    Sampling profiler: attach to a live server (start/collect over
+    ``/v1/debug/profile``) or profile a local bench run; writes
+    collapsed flame-graph text (``flamegraph.pl`` / speedscope input).
+``events``
+    Dump or follow the server's flight-recorder event stream
+    (``/v1/debug/events``): admission sheds, cache evictions, worker
+    lifecycle, SLO burn transitions — one causally-ordered record.
 ``sketch``
     Build the probabilistic-sketch registry for an index and report
     per-shard Bloom fill ratios, HyperLogLog cardinality estimates
@@ -229,6 +237,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             enable_sketches=sketch_routing,
         )
+    from repro.obs.slo import DEFAULT_WINDOWS, parse_objective, scaled_windows
+
+    slo_objectives = None
+    slo_windows = DEFAULT_WINDOWS
+    if args.slo:
+        try:
+            slo_objectives = [parse_objective(spec) for spec in args.slo]
+        except ValueError as exc:
+            print(f"error: bad --slo spec: {exc}", file=sys.stderr)
+            return 2
+        slo_windows = scaled_windows(args.slo_window_scale)
     server = QueryServer(
         backend,
         host=args.host,
@@ -242,14 +261,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_query_threshold=args.slow_query_threshold,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
+        slo_objectives=slo_objectives,
+        slo_windows=slo_windows,
+        slo_interval=args.slo_interval,
+        slo_shed_pressure=args.slo_shed_pressure,
     )
+    if slo_objectives:
+        names = ", ".join(obj.name for obj in slo_objectives)
+        print(f"SLO burn-rate engine armed for: {names} "
+              f"(window scale {args.slo_window_scale:g}, shed pressure "
+              f"{args.slo_shed_pressure:g} while burning)")
     if args.rate_limit:
         print(f"Per-client rate limit: {args.rate_limit:g} req/s "
               f"(burst {server.rate_limiter.capacity:g}); clients keyed by "
               "X-Client-Id header, falling back to the peer address")
     print(f"Serving {kspin.graph.num_vertices}-vertex index on {server.url}")
     print("Endpoints: /v1/query /v1/bknn /v1/topk /v1/update /v1/healthz "
-          "/v1/metrics /v1/debug/traces  (Ctrl-C to stop)")
+          "/v1/metrics /v1/debug/traces /v1/debug/events /v1/debug/profile"
+          "  (Ctrl-C to stop)")
     if args.trace:
         print("Tracing enabled: span trees at /v1/debug/traces, "
               "Prometheus metrics at /v1/metrics?format=prometheus")
@@ -263,6 +292,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if cluster is not None:
             cluster.close()
     return 0
+
+
+def _http_json(url: str, timeout: float = 10.0) -> dict:
+    """GET ``url`` and decode the JSON envelope's ``result``."""
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 - operator URL
+        payload = json.loads(response.read().decode("utf-8"))
+    if isinstance(payload, dict) and payload.get("ok") is False:
+        error = payload.get("error") or {}
+        raise RuntimeError(error.get("message", "server error"))
+    if isinstance(payload, dict) and "result" in payload:
+        return payload["result"]
+    return payload
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Collect a collapsed flame graph from a server or a bench run."""
+    from repro.obs.profile import PROFILER, render_collapsed
+
+    if args.url:
+        base = args.url.rstrip("/")
+        _http_json(f"{base}/v1/debug/profile?action=start&hz={args.hz:g}")
+        print(f"Sampling {base} at {args.hz:g} Hz for {args.duration:g}s ...")
+        time.sleep(args.duration)
+        payload = _http_json(f"{base}/v1/debug/profile?action=stop")
+        folded = {
+            str(stack): int(count)
+            for stack, count in (payload.get("folded") or {}).items()
+        }
+        profilers = payload.get("profilers") or []
+        samples = sum(int(p.get("samples", 0)) for p in profilers)
+        print(f"{samples} samples across {len(profilers)} process(es), "
+              f"{len(folded)} distinct stacks")
+    else:
+        from repro.api import Query
+        from repro.serve.engine import Engine
+
+        if args.index:
+            from repro.persist import load_kspin
+
+            kspin = load_kspin(args.index)
+        else:
+            from repro.core import KSpin
+            from repro.datasets import load_dataset
+            from repro.lowerbound import AltLowerBounder
+
+            dataset = load_dataset(args.dataset)
+            kspin = KSpin(
+                dataset.graph,
+                dataset.keywords,
+                oracle=_build_oracle(args.oracle, dataset.graph),
+                lower_bounder=AltLowerBounder(
+                    dataset.graph, num_landmarks=args.landmarks
+                ),
+            )
+        engine = Engine(kspin, cache_size=0)
+        keywords = sorted(kspin.index.keywords())
+        if not keywords:
+            print("error: index has no keywords to query", file=sys.stderr)
+            return 2
+        vertices = kspin.graph.num_vertices
+        print(f"Profiling {args.queries} BkNN queries on "
+              f"{vertices} vertices at {args.hz:g} Hz ...")
+        with PROFILER.record(hz=args.hz):
+            for i in range(args.queries):
+                vertex = (i * 131) % vertices
+                keyword = keywords[i % len(keywords)]
+                engine.execute(Query(vertex, (keyword,), k=args.k))
+        snapshot = PROFILER.snapshot()
+        folded = {
+            f"{PROFILER.source};{stack}": count
+            for stack, count in PROFILER.folded().items()
+        }
+        print(f"{snapshot['samples']} samples, "
+              f"{snapshot['distinct_stacks']} distinct stacks")
+        top = PROFILER.top(5)
+        if top:
+            print("hottest frames:")
+            for row in top:
+                print(f"  {row['share']:6.1%}  {row['frame']}")
+    collapsed = render_collapsed(folded)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(collapsed)
+        print(f"Collapsed flame graph written to {args.out} "
+              f"(feed it to flamegraph.pl or speedscope)")
+    else:
+        print(collapsed, end="")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Dump (or ``--follow``) a server's flight-recorder stream."""
+    import json
+
+    from repro.obs.events import format_event
+
+    base = args.url.rstrip("/")
+    since_ts = 0.0
+    seen: set[tuple] = set()
+    try:
+        while True:
+            query = f"{base}/v1/debug/events?since_ts={since_ts:.6f}"
+            if args.limit:
+                query += f"&limit={args.limit}"
+            reply = _http_json(query)
+            for event in reply.get("events") or []:
+                key = (event.get("source"), event.get("seq"), event.get("ts"))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if args.jsonl:
+                    print(json.dumps(event, sort_keys=True))
+                else:
+                    print(format_event(event))
+                # Lag the cursor one poll interval behind the newest
+                # event: merged streams are only causally ordered per
+                # source, so a strict high-watermark could skip a
+                # slightly-older event from another worker.  The seen
+                # set deduplicates the overlap.
+                since_ts = max(since_ts, float(event.get("ts", 0.0)) - 2.0)
+            if not args.follow:
+                return 0
+            if len(seen) > 50000:
+                seen = set(sorted(seen, key=lambda k: k[2])[-10000:])
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -620,6 +780,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable Bloom/HLL sketches (shard skipping, "
                             "cardinality planning, hot-keyword cache "
                             "admission)")
+    serve.add_argument("--slo", action="append", metavar="SPEC",
+                       help="declare a latency/error objective, e.g. "
+                            "bknn-p99:latency:50ms:0.99 or "
+                            "availability:errors:0.999 (repeatable); "
+                            "burn-rate gauges land in /v1/metrics and "
+                            "verbose /v1/healthz")
+    serve.add_argument("--slo-window-scale", type=float, default=1.0,
+                       metavar="FACTOR",
+                       help="multiply the 5m/1h + 30m/6h burn-rate "
+                            "windows by FACTOR (shrink for demos/tests)")
+    serve.add_argument("--slo-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="background SLO evaluation period; 0 relies "
+                            "on /v1/metrics scrapes only")
+    serve.add_argument("--slo-shed-pressure", type=float, default=0.5,
+                       metavar="FACTOR",
+                       help="admission-queue scale applied while any "
+                            "objective is burning (default 0.5)")
 
     explain = commands.add_parser(
         "explain",
@@ -701,6 +879,59 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fail (exit 3) when mypy is not installed "
                                 "instead of skipping — used by CI")
 
+    profile = commands.add_parser(
+        "profile",
+        help="sampling profiler: attach to a server or profile a bench run",
+    )
+    profile.add_argument("--url", metavar="URL",
+                         help="live server base URL (e.g. "
+                              "http://127.0.0.1:8080); omitted = profile "
+                              "a local query run instead")
+    profile.add_argument("--duration", type=float, default=10.0,
+                         help="seconds to sample an attached server "
+                              "(default 10)")
+    profile.add_argument("--hz", type=float, default=67.0,
+                         help="sampling frequency (default 67 — co-prime "
+                              "with common periodic work)")
+    profile.add_argument("--out", metavar="PATH",
+                         help="write collapsed stacks here instead of "
+                              "stdout (flamegraph.pl / speedscope input)")
+    profile_source = profile.add_mutually_exclusive_group()
+    profile_source.add_argument("--index",
+                                help="saved index for a local bench run")
+    profile_source.add_argument("--dataset", default="ME-S",
+                                help="ladder dataset for a local bench "
+                                     "run (default ME-S)")
+    profile.add_argument("--oracle", default="ch",
+                         choices=["dijkstra", "bidijkstra", "ch", "phl",
+                                  "gtree"],
+                         help="distance oracle when building from "
+                              "--dataset")
+    profile.add_argument("--landmarks", type=int, default=16)
+    profile.add_argument("--queries", type=int, default=2000,
+                         help="BkNN queries for a local bench run "
+                              "(default 2000)")
+    profile.add_argument("--k", type=int, default=10)
+
+    events = commands.add_parser(
+        "events",
+        help="dump or follow a server's flight-recorder event stream",
+    )
+    events.add_argument("--url", default="http://127.0.0.1:8080",
+                        metavar="URL",
+                        help="server base URL (default "
+                             "http://127.0.0.1:8080)")
+    events.add_argument("--follow", action="store_true",
+                        help="poll forever, printing new events as they "
+                             "arrive (Ctrl-C to stop)")
+    events.add_argument("--interval", type=float, default=1.0,
+                        help="poll period with --follow (default 1s)")
+    events.add_argument("--limit", type=int, default=None,
+                        help="cap events per fetch")
+    events.add_argument("--jsonl", action="store_true",
+                        help="emit raw JSON lines instead of the "
+                             "human-readable rendering")
+
     commands.add_parser("demo", help="run the Figure-1 quickstart")
     return parser
 
@@ -713,6 +944,8 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "explain": _cmd_explain,
+        "profile": _cmd_profile,
+        "events": _cmd_events,
         "sketch": _cmd_sketch,
         "lint": _cmd_lint,
         "typecheck": _cmd_typecheck,

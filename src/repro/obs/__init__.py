@@ -21,13 +21,48 @@ Three pieces, all stdlib-only:
   snapshot, including ``_bucket``/``_sum``/``_count`` series for every
   histogram.
 
+Generation two adds three always-on-capable production facilities:
+
+* :mod:`repro.obs.profile` — a stdlib sampling profiler
+  (``sys._current_frames()`` at a configurable hz, folded-stack
+  aggregation, collapsed flame-graph export) with zero cost while
+  disabled; spans additionally record exact per-stage CPU-vs-wall
+  attribution (``cpu_ms``) via ``time.thread_time``.
+* :mod:`repro.obs.events` — a bounded append-only flight recorder of
+  discrete serving events (shed, evict, worker death, sketch refresh)
+  with per-source monotonic sequence numbers; per-process streams merge
+  into one causally-ordered record.
+* :mod:`repro.obs.slo` — declarative latency/error objectives evaluated
+  as multi-window multi-burn-rate alerts over the cumulative counters,
+  with hooks that let burning objectives tighten admission control.
+
 The vocabulary is the paper's §5.1 cost model — iterations κ, exact
 distance computations, lower-bound computations, heap operations — so a
 trace explains *where* a slow query spent its budget in the same terms
 the complexity analysis is written in.
 """
 
+from repro.obs.events import (
+    EVENTS,
+    FlightRecorder,
+    format_event,
+    merge_streams,
+    to_jsonl,
+)
 from repro.obs.histogram import LogHistogram, PROMETHEUS_BOUNDS
+from repro.obs.profile import (
+    PROFILER,
+    SamplingProfiler,
+    merge_folded,
+    render_collapsed,
+)
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SloObjective,
+    SloTracker,
+    parse_objective,
+    scaled_windows,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -41,15 +76,29 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_WINDOWS",
+    "EVENTS",
+    "FlightRecorder",
     "LogHistogram",
+    "PROFILER",
     "PROMETHEUS_BOUNDS",
+    "SamplingProfiler",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "TRACER",
     "Tracer",
     "annotate",
     "attach",
     "current_span",
+    "format_event",
     "format_trace",
+    "merge_folded",
+    "merge_streams",
+    "parse_objective",
+    "render_collapsed",
+    "scaled_windows",
     "span",
     "timed",
+    "to_jsonl",
 ]

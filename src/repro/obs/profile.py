@@ -1,0 +1,290 @@
+"""Always-on-capable sampling profiler (stdlib, collapsed-stack output).
+
+Percentile histograms say *how slow* a query was; traces say *which
+stage* was slow; neither says *which code* burned the CPU.  This module
+closes that gap with the standard production technique — statistical
+stack sampling — implemented on ``sys._current_frames()``:
+
+* a background daemon thread wakes ``hz`` times per second, snapshots
+  every live thread's Python frame stack, and folds each one into a
+  ``{(thread, stack): count}`` table.  Sampling is O(total frames)
+  per tick and touches no locks the serving path holds, so a 50–100 Hz
+  profiler costs a few percent even on a one-core box;
+* **near-zero overhead when disabled**: no thread runs, no clock is
+  read — the instrumented process pays nothing until an operator flips
+  it on over ``/v1/debug/profile`` or ``repro profile``;
+* output is the *collapsed* (Brendan Gregg "folded") text format —
+  ``frame;frame;frame count`` lines — consumed directly by
+  ``flamegraph.pl``, speedscope, and most flame-graph viewers.
+
+The deterministic complement (exact CPU-vs-wall per *stage*) lives in
+:mod:`repro.obs.trace`: every span records ``time.thread_time`` deltas
+alongside wall time, so a trace shows whether a slow stage burned CPU
+or waited (lock, pipe, disk) — see ``cpu_ms`` in span payloads.
+
+In a cluster the query CPU burns in the worker processes; the
+coordinator scatters profiler control over the IPC pipes and merges the
+per-process folded stacks, prefixing each stack with its source process
+(``worker-0;engine.execute;...``) so one flame graph shows the fleet.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from types import FrameType
+from typing import Iterable, Mapping
+
+#: Default sampling frequency; ~1–2% overhead on one core in practice.
+DEFAULT_HZ = 67.0
+
+#: Stack frames deeper than this are truncated (keeps keys bounded).
+MAX_DEPTH = 64
+
+#: Worker-thread names that are pure waiting (the sampler's own thread
+#: is always excluded by ident).  Kept visible in output — a profile
+#: dominated by idle waiters is itself a finding — but tagged so
+#: renderers can filter.
+_FORMAT_VERSION = 1
+
+
+def _frame_label(frame: FrameType) -> str:
+    """``module.qualname`` for one frame (filename fallback)."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__") or code.co_filename
+    name = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{name}"
+
+
+def _fold(frame: FrameType | None) -> tuple[str, ...]:
+    """The root-first folded stack for one thread's current frame."""
+    labels: list[str] = []
+    depth = 0
+    while frame is not None and depth < MAX_DEPTH:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+        depth += 1
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """A start/stop stack sampler aggregating folded-stack counts.
+
+    Thread-safe: ``start``/``stop``/``snapshot``/``collapsed`` may be
+    called from any thread (the HTTP debug endpoint calls them from
+    handler threads while the sampler thread is folding samples).
+
+    Parameters
+    ----------
+    hz:
+        Sampling frequency; reconfigurable per :meth:`start`.
+    source:
+        Process label prepended to merged cluster output (the worker
+        name in cluster workers, ``main`` in the coordinator).
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, source: str = "main") -> None:
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.hz = hz
+        self.source = source
+        self._lock = threading.Lock()
+        self._stacks: dict[tuple[str, tuple[str, ...]], int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples = 0
+        self.ticks = 0
+        self.started_at: float | None = None
+        self.active_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._thread is not None
+
+    def start(self, hz: float | None = None, reset: bool = True) -> bool:
+        """Begin sampling; returns False if already running.
+
+        ``reset`` drops previously accumulated stacks so one profiling
+        session answers for one window of traffic.
+        """
+        with self._lock:
+            if self._thread is not None:
+                return False
+            if hz is not None:
+                if hz <= 0:
+                    raise ValueError("hz must be positive")
+                self.hz = hz
+            if reset:
+                self._stacks.clear()
+                self.samples = 0
+                self.ticks = 0
+                self.active_seconds = 0.0
+            self._stop.clear()
+            self.started_at = time.time()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+            return True
+
+    def stop(self) -> bool:
+        """Stop sampling (accumulated stacks are kept); False if idle."""
+        with self._lock:
+            thread = self._thread
+            if thread is None:
+                return False
+            self._stop.set()
+            self._thread = None
+        thread.join(timeout=5.0)
+        with self._lock:
+            if self.started_at is not None:
+                self.active_seconds += time.time() - self.started_at
+            self.started_at = None
+        return True
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stacks.clear()
+            self.samples = 0
+            self.ticks = 0
+            self.active_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        interval = 1.0 / self.hz
+        own = threading.get_ident()
+        names = {}
+        while not self._stop.wait(interval):
+            names = {t.ident: t.name for t in threading.enumerate()}
+            self._sample(own, names)
+
+    def _sample(self, own_ident: int, names: Mapping[int | None, str]) -> None:
+        frames = sys._current_frames()
+        folded: list[tuple[str, tuple[str, ...]]] = []
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            thread_name = names.get(ident, f"thread-{ident}")
+            folded.append((thread_name, _fold(frame)))
+        with self._lock:
+            self.ticks += 1
+            for key in folded:
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+                self.samples += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def folded(self) -> dict[str, int]:
+        """``{"thread;frame;frame": count}`` — the merge-friendly form."""
+        with self._lock:
+            return {
+                ";".join((thread,) + stack): count
+                for (thread, stack), count in self._stacks.items()
+            }
+
+    def collapsed(self, prefix: str | None = None) -> str:
+        """Collapsed flame-graph text: one ``stack count`` line per stack.
+
+        ``prefix`` (e.g. a worker name) is prepended as the root frame so
+        merged cluster profiles keep per-process attribution.
+        """
+        lines = []
+        for stack, count in sorted(self.folded().items()):
+            if prefix:
+                stack = f"{prefix};{stack}"
+            lines.append(f"{stack} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def top(self, n: int = 10) -> list[dict]:
+        """The ``n`` hottest *leaf* frames by inclusive sample count."""
+        leaves: dict[str, int] = {}
+        with self._lock:
+            total = self.samples
+            for (_thread, stack), count in self._stacks.items():
+                if stack:
+                    leaves[stack[-1]] = leaves.get(stack[-1], 0) + count
+        ranked = sorted(leaves.items(), key=lambda kv: -kv[1])[:n]
+        return [
+            {
+                "frame": frame,
+                "samples": count,
+                "share": count / total if total else 0.0,
+            }
+            for frame, count in ranked
+        ]
+
+    def snapshot(self) -> dict:
+        """JSON-ready status + aggregates for ``/v1/debug/profile``."""
+        with self._lock:
+            running = self._thread is not None
+            active = self.active_seconds
+            if running and self.started_at is not None:
+                active += time.time() - self.started_at
+            return {
+                "version": _FORMAT_VERSION,
+                "enabled": running,
+                "hz": self.hz,
+                "source": self.source,
+                "samples": self.samples,
+                "ticks": self.ticks,
+                "distinct_stacks": len(self._stacks),
+                "active_seconds": active,
+            }
+
+    # ------------------------------------------------------------------
+    # Scoped profiling (bench runs, `repro profile` without a server)
+    # ------------------------------------------------------------------
+    def record(self, hz: float | None = None) -> "_ProfileScope":
+        """``with PROFILER.record(hz=97): run_benchmark()``."""
+        return _ProfileScope(self, hz)
+
+
+class _ProfileScope:
+    __slots__ = ("_profiler", "_hz", "_started")
+
+    def __init__(self, profiler: SamplingProfiler, hz: float | None) -> None:
+        self._profiler = profiler
+        self._hz = hz
+        self._started = False
+
+    def __enter__(self) -> SamplingProfiler:
+        self._started = self._profiler.start(hz=self._hz)
+        return self._profiler
+
+    def __exit__(self, *_exc) -> bool:
+        if self._started:
+            self._profiler.stop()
+        return False
+
+
+def merge_folded(payloads: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Sum folded-stack tables (the cluster gather step).
+
+    Exact by construction — folded counts are plain integers keyed by
+    the stack string, so merging is commutative addition, the same
+    property :class:`~repro.obs.histogram.LogHistogram` relies on.
+    """
+    merged: dict[str, int] = {}
+    for payload in payloads:
+        for stack, count in payload.items():
+            merged[stack] = merged.get(stack, 0) + int(count)
+    return merged
+
+
+def render_collapsed(folded: Mapping[str, int]) -> str:
+    """A merged folded table as collapsed flame-graph text."""
+    lines = [f"{stack} {count}" for stack, count in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide profiler.  The HTTP debug endpoint, the worker IPC
+#: ``profile`` verb, and ``repro profile`` all drive this instance.
+PROFILER = SamplingProfiler()

@@ -332,4 +332,63 @@ def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
                  "Whether end-to-end tracing is on.",
                  1 if tracing.get("enabled") else 0)
 
+    # -------------------------------------------------------------- SLO
+    if "pressure" in snapshot:
+        w.sample("admission_pressure", "gauge",
+                 "Admission queue-bound scale factor (1 = normal; the "
+                 "SLO engine lowers it while an error budget burns).",
+                 snapshot["pressure"])
+    slo = snapshot.get("slo") or {}
+    for name, objective in sorted((slo.get("objectives") or {}).items()):
+        labels = {"objective": name}
+        w.sample("slo_burning", "gauge",
+                 "Whether this objective's error budget is burning "
+                 "(multi-window multi-burn-rate alert state).",
+                 1 if objective.get("burning") else 0, labels)
+        w.sample("slo_target", "gauge",
+                 "Required good-ratio for this objective.",
+                 objective.get("target", 0.0), labels)
+        w.sample("slo_requests_total", "counter",
+                 "Requests evaluated against this objective.",
+                 objective.get("total", 0), labels)
+        w.sample("slo_bad_total", "counter",
+                 "Budget-consuming (bad) requests for this objective.",
+                 objective.get("bad", 0), labels)
+        w.sample("slo_transitions_total", "counter",
+                 "ok<->burning state transitions for this objective.",
+                 objective.get("transitions", 0), labels)
+        for window in objective.get("windows") or []:
+            window_labels = {"objective": name,
+                             "window": str(window.get("window", "?"))}
+            w.sample("slo_burn_rate", "gauge",
+                     "Error-budget burn rate over the short window "
+                     "(1 = spending exactly the budget).",
+                     window.get("short_burn", 0.0), window_labels)
+            w.sample("slo_burn_rate_long", "gauge",
+                     "Error-budget burn rate over the long window.",
+                     window.get("long_burn", 0.0), window_labels)
+
+    # --------------------------------------------------- flight recorder
+    events = snapshot.get("events") or {}
+    if events:
+        w.sample("events_emitted_total", "counter",
+                 "Flight-recorder events emitted by this process.",
+                 events.get("emitted", 0))
+        w.sample("events_dropped_total", "counter",
+                 "Flight-recorder events scrolled out of the ring.",
+                 events.get("dropped", 0))
+        w.sample("events_buffered", "gauge",
+                 "Flight-recorder events currently buffered.",
+                 events.get("buffered", 0))
+
+    # ---------------------------------------------------------- profiler
+    profiler = snapshot.get("profiler") or {}
+    if profiler:
+        w.sample("profiler_enabled", "gauge",
+                 "Whether the sampling profiler is running.",
+                 1 if profiler.get("enabled") else 0)
+        w.sample("profiler_samples_total", "counter",
+                 "Stack samples folded since the last reset.",
+                 profiler.get("samples", 0))
+
     return w.render()

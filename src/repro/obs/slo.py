@@ -1,0 +1,396 @@
+"""Declarative SLOs evaluated as multi-window, multi-burn-rate alerts.
+
+Raw percentiles do not page anyone: the serving tier needs *objectives*
+("99% of BkNN queries under 50 ms", "99.9% of requests succeed") and a
+signal that says how fast the error budget is being spent.  This module
+implements the standard SRE-workbook construction on top of the
+cumulative counters the stack already keeps:
+
+* an :class:`SloObjective` declares what *good* means — a latency
+  threshold (a request is good when it finishes under ``threshold``
+  seconds) or plain availability (good = not an error/shed/timeout) —
+  and a ``target`` good-ratio.  The error *budget* is ``1 - target``.
+* the tracker periodically samples each objective's cumulative
+  ``(total, bad)`` counts (probes read the existing
+  :class:`~repro.obs.histogram.LogHistogram` buckets — no new
+  bookkeeping on the hot path) and keeps a short ring of samples.
+* **burn rate** over a window is ``(bad/total in window) / budget`` —
+  1.0 means spending exactly the budget, 14.4 means a 30-day budget
+  gone in 50 hours.  Each alert pairs a *long* window (is this real?)
+  with a *short* window (is it still happening?): the objective starts
+  **burning** when both exceed the pair's factor, and recovers when the
+  short window quiets down — the short window is what makes recovery
+  fast and re-alerting possible, the long window is what keeps a blip
+  from paging.
+
+Window geometry is injectable (tests compress hours to milliseconds by
+passing a fake clock and tiny windows); the defaults are the classic
+5m/1h fast-burn and 30m/6h slow-burn pairs.
+
+Burning objectives are actionable, not just visible: hooks registered
+with :meth:`SloTracker.add_hook` fire on every ok↔burning transition —
+the HTTP tier uses one to tighten admission-control shedding while the
+budget is burning — and every transition is also recorded in the
+flight recorder (``slo.burn_start`` / ``slo.burn_stop``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.obs.events import EVENTS
+
+#: ``(name, short_seconds, long_seconds, burn factor)`` — the classic
+#: multi-window pairs, factors from the SRE workbook's 30-day budget
+#: arithmetic (14.4 = 2% of budget in 1h; 6 = 5% in 6h).
+DEFAULT_WINDOWS: tuple[tuple[str, float, float, float], ...] = (
+    ("fast", 300.0, 3600.0, 14.4),
+    ("slow", 1800.0, 21600.0, 6.0),
+)
+
+#: A probe returns cumulative ``(total, bad)`` counts since start.
+Probe = Callable[[], tuple[int, int]]
+
+
+class SloObjective:
+    """One declarative objective: what *good* means and how much is enough.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier (Prometheus label value).
+    target:
+        Required good-ratio in ``(0, 1)``; the error budget is
+        ``1 - target``.
+    threshold:
+        Seconds; present for latency objectives (good = finished under
+        the threshold), ``None`` for availability objectives.
+    description:
+        Human text for health payloads.
+    """
+
+    __slots__ = ("name", "target", "threshold", "description")
+
+    def __init__(
+        self,
+        name: str,
+        target: float,
+        threshold: float | None = None,
+        description: str = "",
+    ) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if threshold is not None and threshold <= 0:
+            raise ValueError("threshold must be positive seconds")
+        self.name = name
+        self.target = target
+        self.threshold = threshold
+        self.description = description
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "target": self.target,
+            "threshold_ms": (
+                self.threshold * 1000.0 if self.threshold is not None else None
+            ),
+            "description": self.description,
+        }
+
+
+class _Tracked:
+    """Per-objective evaluation state (samples ring + alert state)."""
+
+    __slots__ = ("objective", "probe", "samples", "burning", "transitions")
+
+    def __init__(self, objective: SloObjective, probe: Probe) -> None:
+        self.objective = objective
+        self.probe = probe
+        # (t, cumulative_total, cumulative_bad), oldest first.
+        self.samples: deque[tuple[float, int, int]] = deque()
+        self.burning = False
+        self.transitions = 0
+
+
+class SloTracker:
+    """Evaluates registered objectives over sliding windows.
+
+    Parameters
+    ----------
+    windows:
+        ``(name, short_s, long_s, factor)`` tuples; tests pass
+        sub-second windows, production keeps :data:`DEFAULT_WINDOWS`.
+    clock:
+        Injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        windows: Iterable[Sequence] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.windows = [
+            (str(name), float(short), float(long), float(factor))
+            for name, short, long, factor in windows
+        ]
+        if not self.windows:
+            raise ValueError("need at least one burn-rate window pair")
+        for name, short, long, _factor in self.windows:
+            if not 0 < short <= long:
+                raise ValueError(
+                    f"window {name!r}: need 0 < short <= long, "
+                    f"got {short}/{long}"
+                )
+        self._clock = clock
+        self._horizon = max(long for _n, _s, long, _f in self.windows)
+        self._lock = threading.Lock()
+        self._tracked: dict[str, _Tracked] = {}
+        self._hooks: list[Callable[[str, bool], None]] = []
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_objective(self, objective: SloObjective, probe: Probe) -> None:
+        with self._lock:
+            if objective.name in self._tracked:
+                raise ValueError(f"duplicate objective {objective.name!r}")
+            self._tracked[objective.name] = _Tracked(objective, probe)
+
+    def add_hook(self, hook: Callable[[str, bool], None]) -> None:
+        """``hook(objective_name, burning)`` on every state transition."""
+        with self._lock:
+            self._hooks.append(hook)
+
+    @property
+    def objectives(self) -> list[SloObjective]:
+        with self._lock:
+            return [t.objective for t in self._tracked.values()]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _window_burn(
+        samples: Sequence[tuple[float, int, int]],
+        now: float,
+        window: float,
+        budget: float,
+    ) -> float:
+        """Burn rate over ``[now - window, now]`` from cumulative samples.
+
+        The baseline is the newest sample at or before the window start
+        (falling back to the oldest sample when history is shorter than
+        the window — a young server evaluates over what it has).
+        """
+        if not samples:
+            return 0.0
+        cutoff = now - window
+        base = samples[0]
+        for sample in samples:
+            if sample[0] <= cutoff:
+                base = sample
+            else:
+                break
+        current = samples[-1]
+        delta_total = current[1] - base[1]
+        delta_bad = current[2] - base[2]
+        if delta_total <= 0:
+            return 0.0
+        return (delta_bad / delta_total) / budget
+
+    def evaluate(self, now: float | None = None) -> dict:
+        """Probe every objective, update burn state, fire hooks.
+
+        Returns the same payload as :meth:`snapshot` (fresh, not
+        cached).  Safe to call from a timer thread and from request
+        handlers concurrently.
+        """
+        if now is None:
+            now = self._clock()
+        fired: list[tuple[str, bool]] = []
+        with self._lock:
+            self.evaluations += 1
+            payload = self._evaluate_locked(now, fired)
+            hooks = list(self._hooks)
+        # Hooks and flight-recorder writes run outside the lock: a hook
+        # that touches the admission pool (its own mutex) must never be
+        # able to deadlock against a concurrent snapshot().
+        for name, burning in fired:
+            EVENTS.emit(
+                "slo.burn_start" if burning else "slo.burn_stop",
+                objective=name,
+            )
+            for hook in hooks:
+                try:
+                    hook(name, burning)
+                except Exception:  # pragma: no cover - hooks must not break
+                    pass
+        return payload
+
+    def _evaluate_locked(
+        self, now: float, fired: list[tuple[str, bool]]
+    ) -> dict:
+        objectives: dict[str, dict] = {}
+        for name, tracked in self._tracked.items():
+            total, bad = tracked.probe()
+            tracked.samples.append((now, int(total), int(bad)))
+            while (
+                len(tracked.samples) > 2
+                and tracked.samples[1][0] <= now - self._horizon
+            ):
+                tracked.samples.popleft()
+            budget = tracked.objective.budget
+            window_rows = []
+            any_pair_hot = False
+            any_short_hot = False
+            for wname, short, long, factor in self.windows:
+                short_burn = self._window_burn(
+                    tracked.samples, now, short, budget
+                )
+                long_burn = self._window_burn(
+                    tracked.samples, now, long, budget
+                )
+                hot = short_burn >= factor and long_burn >= factor
+                any_pair_hot = any_pair_hot or hot
+                any_short_hot = any_short_hot or short_burn >= factor
+                window_rows.append(
+                    {
+                        "window": wname,
+                        "short_seconds": short,
+                        "long_seconds": long,
+                        "factor": factor,
+                        "short_burn": short_burn,
+                        "long_burn": long_burn,
+                        "hot": hot,
+                    }
+                )
+            # Enter on short AND long agreeing; leave only once every
+            # short window has quieted (fast recovery, no flapping on
+            # the long tail of a past incident).
+            if not tracked.burning and any_pair_hot:
+                tracked.burning = True
+                tracked.transitions += 1
+                fired.append((name, True))
+            elif tracked.burning and not any_short_hot:
+                tracked.burning = False
+                tracked.transitions += 1
+                fired.append((name, False))
+            objectives[name] = {
+                **tracked.objective.to_dict(),
+                "status": "burning" if tracked.burning else "ok",
+                "burning": tracked.burning,
+                "transitions": tracked.transitions,
+                "total": total,
+                "bad": bad,
+                "windows": window_rows,
+            }
+        return {
+            "evaluations": self.evaluations,
+            "burning": sorted(
+                name for name, t in self._tracked.items() if t.burning
+            ),
+            "objectives": objectives,
+        }
+
+    def snapshot(self) -> dict:
+        """The last-known state *without* re-probing (metrics path)."""
+        with self._lock:
+            fired: list[tuple[str, bool]] = []
+            # Re-deriving from stored samples is cheap and lock-local;
+            # state transitions still only happen through evaluate().
+            objectives: dict[str, dict] = {}
+            for name, tracked in self._tracked.items():
+                last = tracked.samples[-1] if tracked.samples else (0.0, 0, 0)
+                budget = tracked.objective.budget
+                now = last[0]
+                window_rows = []
+                for wname, short, long, factor in self.windows:
+                    window_rows.append(
+                        {
+                            "window": wname,
+                            "short_seconds": short,
+                            "long_seconds": long,
+                            "factor": factor,
+                            "short_burn": self._window_burn(
+                                tracked.samples, now, short, budget
+                            ),
+                            "long_burn": self._window_burn(
+                                tracked.samples, now, long, budget
+                            ),
+                        }
+                    )
+                objectives[name] = {
+                    **tracked.objective.to_dict(),
+                    "status": "burning" if tracked.burning else "ok",
+                    "burning": tracked.burning,
+                    "transitions": tracked.transitions,
+                    "total": last[1],
+                    "bad": last[2],
+                    "windows": window_rows,
+                }
+            del fired
+            return {
+                "evaluations": self.evaluations,
+                "burning": sorted(
+                    name for name, t in self._tracked.items() if t.burning
+                ),
+                "objectives": objectives,
+            }
+
+
+def parse_objective(spec: str) -> SloObjective:
+    """Parse a CLI objective spec.
+
+    Grammar: ``name:latency:<threshold_ms>ms:<target>`` or
+    ``name:errors:<target>`` — e.g. ``bknn-p99:latency:50ms:0.99``,
+    ``availability:errors:0.999``.
+    """
+    parts = spec.split(":")
+    if len(parts) == 4 and parts[1] == "latency":
+        name, _kind, threshold_text, target_text = parts
+        if not threshold_text.endswith("ms"):
+            raise ValueError(
+                f"latency threshold must end in 'ms': {threshold_text!r}"
+            )
+        threshold = float(threshold_text[:-2]) / 1000.0
+        return SloObjective(
+            name,
+            target=float(target_text),
+            threshold=threshold,
+            description=f"{float(target_text):.2%} of requests under "
+            f"{threshold_text}",
+        )
+    if len(parts) == 3 and parts[1] == "errors":
+        name, _kind, target_text = parts
+        return SloObjective(
+            name,
+            target=float(target_text),
+            description=f"{float(target_text):.3%} of requests succeed",
+        )
+    raise ValueError(
+        f"bad SLO spec {spec!r}; expected name:latency:<N>ms:<target> "
+        "or name:errors:<target>"
+    )
+
+
+def scaled_windows(scale: float) -> list[tuple[str, float, float, float]]:
+    """:data:`DEFAULT_WINDOWS` with every duration multiplied by ``scale``.
+
+    Tests and short bench runs compress six hours into seconds by
+    passing e.g. ``scale=0.001``; burn factors are left untouched —
+    they are dimensionless.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return [
+        (name, short * scale, long * scale, factor)
+        for name, short, long, factor in DEFAULT_WINDOWS
+    ]

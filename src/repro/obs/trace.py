@@ -49,11 +49,19 @@ class Span:
     ``timers`` holds aggregated hot-path operations as
     ``{name: [count, total_seconds]}``; ``children`` are structural
     sub-stages.  ``duration`` is filled when the span closes.
+
+    ``cpu_duration`` is the **deterministic CPU-vs-wall attribution**:
+    the ``time.thread_time`` delta of the owning thread over the span's
+    lifetime.  ``cpu ≈ wall`` means the stage burned CPU;
+    ``cpu ≪ wall`` means it waited (lock, pipe, disk, admission queue).
+    This is exact where the sampling profiler
+    (:mod:`repro.obs.profile`) is statistical — the two answer
+    different questions and cost differently.
     """
 
     __slots__ = (
         "name", "trace_id", "attrs", "children", "timers",
-        "start", "duration", "worker",
+        "start", "duration", "worker", "cpu", "cpu_duration",
     )
 
     def __init__(self, name: str, trace_id: str | None = None, attrs: dict | None = None) -> None:
@@ -65,6 +73,8 @@ class Span:
         self.start = time.perf_counter()
         self.duration = 0.0
         self.worker: str | None = None
+        self.cpu = 0.0
+        self.cpu_duration = 0.0
 
     # ------------------------------------------------------------------
     # Mutation (only ever from the thread currently owning the span)
@@ -93,6 +103,8 @@ class Span:
             "name": self.name,
             "duration_ms": self.duration * 1000.0,
         }
+        if self.cpu_duration:
+            payload["cpu_ms"] = self.cpu_duration * 1000.0
         if self.trace_id:
             payload["trace_id"] = self.trace_id
         if self.worker:
@@ -113,6 +125,7 @@ class Span:
         span = cls(str(payload.get("name", "?")), payload.get("trace_id"))
         span.start = 0.0
         span.duration = float(payload.get("duration_ms", 0.0)) / 1000.0
+        span.cpu_duration = float(payload.get("cpu_ms", 0.0)) / 1000.0
         span.worker = payload.get("worker")
         span.attrs = dict(payload.get("attrs", {}))
         for name, timer in (payload.get("timers") or {}).items():
@@ -174,11 +187,13 @@ class _SpanContext:
     def __enter__(self) -> Span:
         self._token = _ACTIVE.set(self._span)
         self._span.start = time.perf_counter()
+        self._span.cpu = time.thread_time()
         return self._span
 
     def __exit__(self, *_exc) -> bool:
         span = self._span
         span.duration = time.perf_counter() - span.start
+        span.cpu_duration = time.thread_time() - span.cpu
         _ACTIVE.reset(self._token)
         self._parent.children.append(span)
         return False
@@ -271,11 +286,13 @@ class _RootContext:
     def __enter__(self) -> Span:
         self._token = _ACTIVE.set(self._span)
         self._span.start = time.perf_counter()
+        self._span.cpu = time.thread_time()
         return self._span
 
     def __exit__(self, *_exc) -> bool:
         span_obj = self._span
         span_obj.duration = time.perf_counter() - span_obj.start
+        span_obj.cpu_duration = time.thread_time() - span_obj.cpu
         _ACTIVE.reset(self._token)
         self._tracer._finish(span_obj)
         return False
@@ -411,34 +428,113 @@ TRACER = Tracer()
 # ----------------------------------------------------------------------
 # Pretty-printing (repro explain, slow-query log dumps)
 # ----------------------------------------------------------------------
+#: Same-named sibling spans at or above this count are rolled up into a
+#: group summary plus a per-item table instead of one tree branch each —
+#: ``http.batch`` fans out into dozens of ``engine.execute`` children
+#: and a flat dump of those is unreadable.
+ROLLUP_MIN = 4
+
+#: Per-item rows shown in a rollup table before eliding the remainder.
+ROLLUP_ROWS = 16
+
+
+def _merge_group_timers(group: list[Mapping]) -> dict[str, list]:
+    merged: dict[str, list] = {}
+    for node in group:
+        for name, timer in (node.get("timers") or {}).items():
+            agg = merged.setdefault(name, [0, 0.0])
+            agg[0] += int(timer.get("count", 0))
+            agg[1] += float(timer.get("total_ms", 0.0))
+    return merged
+
+
 def format_trace(payload: Mapping, indent: str = "") -> str:
     """Render a ``Span.to_dict`` tree as an aligned text tree.
 
-    Each line shows the stage name, its wall time, and its share of the
-    root; aggregated timers are listed beneath their span with call
-    counts — the §5.1 operations (exact distances, lower bounds) appear
-    here.
+    Each line shows the stage name, its wall time, its share of the
+    root, and — when recorded — its CPU time (``cpu ≪ wall`` flags a
+    stage that *waited* rather than computed).  Aggregated timers are
+    listed beneath their span with call counts — the §5.1 operations
+    (exact distances, lower bounds) appear here.
+
+    Batch fan-out is rolled up: when a span (``http.batch``, a worker
+    dispatch) has :data:`ROLLUP_MIN` or more same-named children, the
+    group renders as one summary line (count, total, min/mean/max),
+    merged timers, and a per-item table rather than a branch per item.
     """
     root_ms = float(payload.get("duration_ms", 0.0)) or 1e-12
+
+    def headline(pad: str, title: str, duration_ms: float, cpu_ms: float) -> str:
+        share = 100.0 * duration_ms / root_ms
+        text = f"{pad}{title:<40s} {duration_ms:9.3f} ms  {share:5.1f}%"
+        if cpu_ms > 0.0:
+            text += f"  cpu {cpu_ms:8.3f} ms"
+        return text
+
+    def render_timers(pad: str, timers: Mapping) -> list[str]:
+        return [
+            f"{pad}  · {name:<36s} "
+            f"{float(timer.get('total_ms', 0.0)):9.3f} ms  "
+            f"({int(timer.get('count', 0))} calls)"
+            for name, timer in timers.items()
+        ]
+
+    def render_group(group: list[Mapping], depth: int) -> list[str]:
+        pad = indent + "  " * depth
+        durations = sorted(float(n.get("duration_ms", 0.0)) for n in group)
+        total_ms = sum(durations)
+        cpu_ms = sum(float(n.get("cpu_ms", 0.0)) for n in group)
+        name = str(group[0].get("name", "?"))
+        lines = [headline(pad, f"{name} ×{len(group)}", total_ms, cpu_ms)]
+        lines.append(
+            f"{pad}    per item: min {durations[0]:.3f} / "
+            f"mean {total_ms / len(group):.3f} / max {durations[-1]:.3f} ms"
+        )
+        timers = _merge_group_timers(group)
+        lines.extend(
+            f"{pad}    · {tname:<34s} {total:9.3f} ms  ({count} calls)"
+            for tname, (count, total) in timers.items()
+        )
+        lines.append(f"{pad}    {'item':>4s}  {'ms':>9s}  attrs")
+        for i, node in enumerate(group[:ROLLUP_ROWS]):
+            attrs = " ".join(
+                f"{k}={v}" for k, v in (node.get("attrs") or {}).items()
+            )
+            lines.append(
+                f"{pad}    {i:>4d}  "
+                f"{float(node.get('duration_ms', 0.0)):>9.3f}  {attrs}".rstrip()
+            )
+        if len(group) > ROLLUP_ROWS:
+            lines.append(
+                f"{pad}    … (+{len(group) - ROLLUP_ROWS} more items)"
+            )
+        return lines
 
     def render(node: Mapping, depth: int) -> list[str]:
         pad = indent + "  " * depth
         duration_ms = float(node.get("duration_ms", 0.0))
-        share = 100.0 * duration_ms / root_ms
-        title = node.get("name", "?")
+        title = str(node.get("name", "?"))
         worker = node.get("worker")
         if worker:
             title = f"{title} [{worker}]"
-        lines = [f"{pad}{title:<40s} {duration_ms:9.3f} ms  {share:5.1f}%"]
-        for name, timer in (node.get("timers") or {}).items():
-            count = timer.get("count", 0)
-            total_ms = float(timer.get("total_ms", 0.0))
-            lines.append(
-                f"{pad}  · {name:<36s} {total_ms:9.3f} ms  "
-                f"({count} calls)"
-            )
-        for child in node.get("children", ()):
-            lines.extend(render(child, depth + 1))
+        lines = [headline(pad, title, duration_ms, float(node.get("cpu_ms", 0.0)))]
+        lines.extend(render_timers(pad, node.get("timers") or {}))
+        children = list(node.get("children", ()))
+        counts: dict[object, int] = {}
+        for child in children:
+            cname = child.get("name")
+            counts[cname] = counts.get(cname, 0) + 1
+        rolled: set = set()
+        for child in children:
+            cname = child.get("name")
+            if counts[cname] >= ROLLUP_MIN:
+                if cname in rolled:
+                    continue
+                rolled.add(cname)
+                group = [c for c in children if c.get("name") == cname]
+                lines.extend(render_group(group, depth + 1))
+            else:
+                lines.extend(render(child, depth + 1))
         return lines
 
     header = []

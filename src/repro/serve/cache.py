@@ -27,6 +27,7 @@ from collections import OrderedDict
 from typing import Any, Hashable, Iterable
 
 from repro.analysis.lockdebug import make_lock
+from repro.obs.events import EVENTS
 from repro.sketch.lossy import LossyCounter
 
 #: Cache keys are ``(vertex, frozenset(keywords), k, kind, mode)``.
@@ -162,6 +163,10 @@ class ResultCache:
                     self._unindex(key)
                     evicted += 1
             self.invalidations += evicted
+        if evicted:
+            # Outside the cache mutex: the recorder has its own lock and
+            # an eviction storm must not serialise behind event writes.
+            EVENTS.emit("cache.evict", entries=evicted)
         return evicted
 
     def invalidate_all(self) -> int:
@@ -267,6 +272,8 @@ class HotKeywordAdmission:
                 self.admitted += 1
             else:
                 self.rejected += 1
+        if not decision:
+            EVENTS.emit("cache.admit_rejected")
         return decision
 
     def top(self, n: int = 10) -> list[tuple[str, int]]:

@@ -47,6 +47,8 @@ from repro.api import (
     stats_to_dict,
 )
 from repro.core.framework import KSpin
+from repro.obs.events import EVENTS, merge_streams
+from repro.obs.profile import PROFILER, merge_folded
 from repro.obs.trace import TRACER, Span, attach, current_span
 from repro.obs.trace import span as trace_span
 from repro.serve.engine import Engine
@@ -252,6 +254,12 @@ class ClusterCoordinator:
             )
         process.start()
         child_conn.close()
+        EVENTS.emit(
+            "worker.spawn",
+            worker=name,
+            mode=self._ctx.get_start_method(),
+            pid=process.pid,
+        )
         return WorkerHandle(name, process, parent_conn)
 
     def _ensure_snapshot(self) -> str:  # ksp: holds[self._update_lock]
@@ -280,10 +288,17 @@ class ClusterCoordinator:
             old = self.workers[index]
             restarts = old.restarts + 1 if old is not None else 1
             if old is not None:
+                if not old.is_alive():
+                    EVENTS.emit(
+                        "worker.death", worker=old.name, restarts=restarts
+                    )
                 old.close()
             handle = self._spawn_worker(index)
             handle.restarts = restarts
             self.workers[index] = handle
+            EVENTS.emit(
+                "worker.restart", worker=handle.name, restarts=restarts
+            )
             return handle
 
     def _alive_indexes(self) -> list[int]:
@@ -359,6 +374,15 @@ class ClusterCoordinator:
                 self.sketch_skipped_shards += skipped
             if per_worker:
                 assert self._pool is not None
+                # True batches (size > 1) leave a scatter/gather pair in
+                # the flight recorder; single queries stay silent — the
+                # hot path must not flood the ring.
+                if len(queries) > 1:
+                    EVENTS.emit(
+                        "batch.scatter",
+                        queries=len(queries),
+                        targets=sorted(per_worker),
+                    )
                 parent = current_span()
                 futures = {
                     target: self._pool.submit(
@@ -376,6 +400,8 @@ class ClusterCoordinator:
                             results[i] = merge_results(parts, scatter_k[i])
                     else:
                         results[i] = parts[0]
+                if len(queries) > 1:
+                    EVENTS.emit("batch.gather", queries=len(gathered))
             return [result for result in results if result is not None]
 
     def _inflight(self) -> list[int]:
@@ -475,6 +501,9 @@ class ClusterCoordinator:
                 )
                 if self.sketches.needs_refresh():
                     self.sketches.refresh(self._kspin.index)
+                    EVENTS.emit(
+                        "sketch.refresh", updates=self.updates_applied
+                    )
             evicted = 0
             for index, handle in enumerate(self.workers):
                 if handle is None:
@@ -487,6 +516,79 @@ class ClusterCoordinator:
                         self.restart_worker(index)
             summary["cache_evicted"] = evicted
             return summary
+
+    # ------------------------------------------------------------------
+    # Observability scatter (flight recorder + profiler)
+    # ------------------------------------------------------------------
+    def events_snapshot(self) -> list[dict]:
+        """One causally-ordered event record for the whole cluster.
+
+        Gathers every live worker's flight-recorder stream over the
+        ``events`` IPC verb and merges it with the coordinator's own —
+        per-worker sequence order is preserved unconditionally, so the
+        merged record reconstructs e.g. a SIGKILL restart: the
+        coordinator's ``worker.death``/``worker.spawn`` interleaved with
+        the replacement's ``worker.start`` (``mode=fork|rehydrate``).
+        A worker that dies mid-gather contributes nothing this call;
+        its history re-merges once the supervisor's replacement starts.
+        """
+        streams: list[list[dict]] = [EVENTS.events()]
+        for handle in self.workers:
+            if handle is None or not handle.is_alive():
+                continue
+            try:
+                body = handle.request("events", {"since_seq": 0})
+                streams.append(list(body.get("events") or []))
+            except (WorkerDied, WorkerError):
+                self.supervisor.kick()
+        return merge_streams(streams)
+
+    def profile(self, action: str, hz: float | None = None) -> dict:
+        """Cluster-wide profiler control: scatter, then merge stacks.
+
+        ``action`` (``start``/``stop``/``status``/``reset``) applies to
+        the coordinator's own profiler *and* every live worker's (the
+        query CPU burns in the workers; the coordinator only shepherds
+        pipes).  Folded stacks come back prefixed with their process
+        name, so one flame graph shows the fleet side by side.
+        """
+        payload = {"action": action, "hz": hz}
+        if action == "start":
+            PROFILER.start(hz=hz)
+        elif action == "stop":
+            PROFILER.stop()
+        elif action == "reset":
+            PROFILER.reset()
+        snapshots = [PROFILER.snapshot()]
+        folded: list[dict] = [
+            {
+                f"{PROFILER.source};{stack}": count
+                for stack, count in PROFILER.folded().items()
+            }
+        ]
+        for handle in self.workers:
+            if handle is None or not handle.is_alive():
+                continue
+            try:
+                body = handle.request("profile", payload)
+            except (WorkerDied, WorkerError):
+                self.supervisor.kick()
+                continue
+            snapshot = body.get("snapshot") or {}
+            snapshots.append(snapshot)
+            source = snapshot.get("source") or handle.name
+            folded.append(
+                {
+                    f"{source};{stack}": count
+                    for stack, count in (body.get("folded") or {}).items()
+                }
+            )
+        return {
+            "action": action,
+            "enabled": any(snap.get("enabled") for snap in snapshots),
+            "profilers": snapshots,
+            "folded": merge_folded(folded),
+        }
 
     # ------------------------------------------------------------------
     # Introspection

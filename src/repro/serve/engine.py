@@ -424,3 +424,41 @@ class Engine:
 
         snapshot["tracing"] = TRACER.snapshot()
         return snapshot
+
+    def events_snapshot(self) -> list[dict]:
+        """This process's flight-recorder stream (already one source).
+
+        Mirrors :meth:`ClusterCoordinator.events_snapshot` so the HTTP
+        tier's ``/v1/debug/events`` is backend-agnostic; an in-process
+        engine shares the process-global recorder, so no merge is
+        needed.
+        """
+        from repro.obs.events import EVENTS
+
+        return EVENTS.events()
+
+    def profile(self, action: str, hz: float | None = None) -> dict:
+        """Drive the process-global sampling profiler.
+
+        Same contract as :meth:`ClusterCoordinator.profile`; folded
+        stacks come back prefixed with the process source so the output
+        merges cleanly with cluster payloads.
+        """
+        from repro.obs.profile import PROFILER
+
+        if action == "start":
+            PROFILER.start(hz=hz)
+        elif action == "stop":
+            PROFILER.stop()
+        elif action == "reset":
+            PROFILER.reset()
+        snapshot = PROFILER.snapshot()
+        return {
+            "action": action,
+            "enabled": snapshot["enabled"],
+            "profilers": [snapshot],
+            "folded": {
+                f"{PROFILER.source};{stack}": count
+                for stack, count in PROFILER.folded().items()
+            },
+        }

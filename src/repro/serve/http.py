@@ -45,7 +45,16 @@ kept for older clients and answer with a ``Deprecation`` header):
 ``GET /v1/metrics``
     Request counts, p50/p95/p99 latency, cache hit rate, queue depth,
     aggregated §5.1 ``QueryStats`` counters (cluster backends add a
-    per-worker breakdown).
+    per-worker breakdown).  Scraping also ticks the SLO engine, so the
+    ``repro_slo_*`` gauges are current as of the scrape.
+``GET /v1/debug/traces`` / ``/v1/debug/events`` / ``/v1/debug/profile``
+    Observability surfaces: recent/slow trace trees; the cluster-merged
+    flight-recorder event stream (``since_ts`` cursor for follow mode);
+    sampling-profiler control (``action=start|stop|status|reset``,
+    ``hz=...``, ``format=collapsed`` for flame-graph text).
+``GET /v1/healthz?verbose=1``
+    Readiness breakdown: per-objective SLO burn state, admission
+    pressure, profiler/recorder/tracer status.
 
 Overload produces explicit errors instead of unbounded queueing:
 **429** when one client exceeds its leaky-bucket budget (the rest of
@@ -66,8 +75,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.api import Query, QueryResult, UnsupportedQueryError, UpdateOp
+from repro.obs.events import EVENTS
+from repro.obs.profile import PROFILER, render_collapsed
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
+from repro.obs.slo import DEFAULT_WINDOWS, SloObjective, SloTracker
 from repro.obs.trace import TRACER, attach
 from repro.serve.admission import DeadlineExceeded, ServerSaturated, WorkerPool
 from repro.serve.ipc import WorkerError
@@ -218,6 +230,9 @@ class _Handler(BaseHTTPRequestHandler):
             retry_after = limiter.check(client, cost=cost)
             if retry_after is not None:
                 metrics.record_rate_limited(time.perf_counter() - start)
+                EVENTS.emit(
+                    "query.rate_limited", endpoint=endpoint, client=client
+                )
                 try:
                     self._send_error(
                         429,
@@ -237,9 +252,10 @@ class _Handler(BaseHTTPRequestHandler):
         # before any bytes go out, so a client that has received the
         # response immediately observes the request in /metrics.
         text: str | None = None
+        text_type = PROMETHEUS_CONTENT_TYPE
         try:
             if endpoint == "/healthz":
-                reply = self.server.backend.health()
+                reply = self._handle_healthz()
             elif endpoint == "/metrics":
                 reply, text = self._handle_metrics()
             elif endpoint == "/debug/traces":
@@ -248,6 +264,12 @@ class _Handler(BaseHTTPRequestHandler):
                     "recent": TRACER.recent_traces(),
                     "slow": TRACER.slow_traces(),
                 }
+            elif endpoint == "/debug/events":
+                reply = self._handle_events()
+            elif endpoint == "/debug/profile":
+                reply, text = self._handle_profile()
+                if text is not None:
+                    text_type = "text/plain; charset=utf-8"
             elif endpoint in ("/query", "/bknn", "/topk"):
                 reply = self._handle_query(endpoint)
             elif endpoint == "/batch":
@@ -281,12 +303,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except ServerSaturated as error:
             metrics.record_shed(time.perf_counter() - start)
+            EVENTS.emit(
+                "query.shed",
+                endpoint=endpoint,
+                queue_depth=self.server.pool.queue_depth,
+                pressure=self.server.pool.pressure,
+            )
             self._send_error(
                 503, "saturated", str(error), deprecated=deprecated, retry=True
             )
             return
         except DeadlineExceeded as error:
             metrics.record_timeout(time.perf_counter() - start)
+            EVENTS.emit("query.deadline", endpoint=endpoint)
             self._send_error(
                 504, "deadline_exceeded", str(error), deprecated=deprecated
             )
@@ -305,7 +334,7 @@ class _Handler(BaseHTTPRequestHandler):
         metrics.record_request(endpoint, time.perf_counter() - start)
         try:
             if text is not None:
-                self._send_text(text, PROMETHEUS_CONTENT_TYPE)
+                self._send_text(text, text_type)
             else:
                 self._send_ok(reply, deprecated=deprecated)
         except BrokenPipeError:  # client went away mid-response
@@ -324,6 +353,77 @@ class _Handler(BaseHTTPRequestHandler):
         if fmt == "json":
             return snapshot, None
         raise BadRequest(f"unknown metrics format {fmt!r}")
+
+    def _handle_healthz(self) -> dict:
+        """``GET /v1/healthz``; ``?verbose=1`` adds the obs breakdown.
+
+        The verbose form is the operator's one-stop readiness view:
+        per-objective SLO burn state, admission pressure, and the
+        profiler/recorder/tracer status lines — everything needed to
+        decide "is this replica healthy enough to keep in rotation".
+        """
+        reply = self.server.backend.health()
+        params = parse_qs(urlparse(self.path).query)
+        verbose = (params.get("verbose") or ["0"])[-1]
+        if verbose not in ("", "0", "false"):
+            slo = self.server.evaluate_slo()
+            reply["slo"] = slo
+            reply["degraded"] = bool(slo and slo.get("burning"))
+            reply["admission"] = {
+                "queue_depth": self.server.pool.queue_depth,
+                "workers": self.server.pool.workers,
+                "max_queue": self.server.pool.max_queue,
+                "pressure": self.server.pool.pressure,
+            }
+            reply["events"] = EVENTS.snapshot()
+            reply["profiler"] = PROFILER.snapshot()
+            reply["tracing"] = TRACER.snapshot()
+        return reply
+
+    def _handle_events(self) -> dict:
+        """``GET /v1/debug/events``: the merged flight-recorder stream.
+
+        ``since_ts`` (exclusive) is the follow-mode cursor — wall-clock
+        based, so it works across the merged per-worker streams;
+        ``limit`` keeps only the newest N events.
+        """
+        params = parse_qs(urlparse(self.path).query)
+        since_raw = (params.get("since_ts") or [None])[-1]
+        limit_raw = (params.get("limit") or [None])[-1]
+        try:
+            since_ts = float(since_raw) if since_raw is not None else None
+            limit = int(limit_raw) if limit_raw is not None else None
+        except ValueError:
+            raise BadRequest("since_ts must be a float, limit an int") from None
+        return self.server.events_payload(since_ts=since_ts, limit=limit)
+
+    def _handle_profile(self) -> tuple[dict | None, str | None]:
+        """``/v1/debug/profile``: drive the sampling profiler.
+
+        ``action`` is ``status`` (default), ``start`` (optional
+        ``hz``), ``stop``, or ``reset``; cluster backends scatter the
+        action to every worker process and merge the folded stacks.
+        ``format=collapsed`` returns the flame-graph text body instead
+        of JSON (pipe it straight into ``flamegraph.pl``).
+        """
+        params = self._params()
+        action = str(params.get("action") or "status")
+        if action not in ("status", "start", "stop", "reset"):
+            raise BadRequest(f"unknown profile action {action!r}")
+        hz = params.get("hz")
+        try:
+            hz_value = float(hz) if hz is not None else None
+            if hz_value is not None and hz_value <= 0:
+                raise ValueError
+        except (TypeError, ValueError):
+            raise BadRequest("hz must be a positive number") from None
+        payload = self.server.profile(action, hz=hz_value)
+        fmt = str(params.get("format") or "json")
+        if fmt == "collapsed":
+            return None, render_collapsed(payload.get("folded") or {})
+        if fmt != "json":
+            raise BadRequest(f"unknown profile format {fmt!r}")
+        return payload, None
 
     def _handle_query(self, endpoint: str) -> dict:
         params = self._params()
@@ -481,6 +581,25 @@ class QueryServer(ThreadingHTTPServer):
     rate_burst:
         Burst allowance per client (bucket capacity); defaults to
         ``2 * rate_limit``.
+    slo_objectives:
+        :class:`~repro.obs.slo.SloObjective` declarations (or ``None``
+        to disable the SLO engine).  Latency objectives probe the
+        success-latency histogram; availability objectives probe
+        error+shed+timeout counts.
+    slo_windows:
+        Burn-rate window pairs for the tracker; defaults to the
+        production 5m/1h + 30m/6h geometry
+        (:data:`~repro.obs.slo.DEFAULT_WINDOWS`), tests pass
+        :func:`~repro.obs.slo.scaled_windows` output.
+    slo_interval:
+        Seconds between background SLO evaluations (0 disables the
+        timer thread; scrapes of ``/metrics`` and verbose ``/healthz``
+        still evaluate lazily).
+    slo_shed_pressure:
+        Admission-pressure factor applied while any objective is
+        burning (see :meth:`WorkerPool.set_pressure`): the queue bound
+        shrinks to ``max_queue * factor`` so the server sheds earlier
+        and admitted requests still meet the latency objective.
     """
 
     daemon_threads = True
@@ -499,6 +618,10 @@ class QueryServer(ThreadingHTTPServer):
         slow_query_threshold: float | None = None,
         rate_limit: float | None = None,
         rate_burst: float | None = None,
+        slo_objectives: list[SloObjective] | None = None,
+        slo_windows: tuple = DEFAULT_WINDOWS,
+        slo_interval: float = 1.0,
+        slo_shed_pressure: float = 0.5,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.backend = backend
@@ -528,6 +651,57 @@ class QueryServer(ThreadingHTTPServer):
         # tracing is on.
         self._trace_sink = self.metrics.record_trace
         TRACER.add_sink(self._trace_sink)
+        # SLO engine: objectives probe the metrics counters; a burning
+        # objective tightens admission via the pressure dial.
+        self.slo: SloTracker | None = None
+        self.slo_shed_pressure = slo_shed_pressure
+        self._burning: set[str] = set()
+        self._burning_lock = threading.Lock()
+        self._slo_stop = threading.Event()
+        self._slo_thread: threading.Thread | None = None
+        if slo_objectives:
+            self.slo = SloTracker(windows=slo_windows)
+            for objective in slo_objectives:
+                if objective.threshold is not None:
+                    threshold = objective.threshold
+                    probe = (
+                        lambda t=threshold:
+                        self.metrics.slo_latency_counts(t)
+                    )
+                else:
+                    probe = self.metrics.slo_availability_counts
+                self.slo.add_objective(objective, probe)
+            self.slo.add_hook(self._on_slo_transition)
+            if slo_interval > 0:
+                self._slo_thread = threading.Thread(
+                    target=self._slo_loop,
+                    args=(slo_interval,),
+                    name="repro-slo",
+                    daemon=True,
+                )
+                self._slo_thread.start()
+
+    def _on_slo_transition(self, name: str, burning: bool) -> None:
+        with self._burning_lock:
+            if burning:
+                self._burning.add(name)
+            else:
+                self._burning.discard(name)
+            pressure = self.slo_shed_pressure if self._burning else 1.0
+        self.pool.set_pressure(pressure)
+
+    def _slo_loop(self, interval: float) -> None:
+        while not self._slo_stop.wait(interval):
+            try:
+                self.evaluate_slo()
+            except Exception:  # pragma: no cover - must not kill the timer
+                pass
+
+    def evaluate_slo(self) -> dict | None:
+        """Run one SLO evaluation tick; None when no objectives are set."""
+        if self.slo is None:
+            return None
+        return self.slo.evaluate()
 
     @property
     def engine(self) -> Engine | ClusterCoordinator:
@@ -542,6 +716,57 @@ class QueryServer(ThreadingHTTPServer):
     @property
     def url(self) -> str:
         return f"http://{self.server_address[0]}:{self.port}"
+
+    def events_payload(
+        self, since_ts: float | None = None, limit: int | None = None
+    ) -> dict:
+        """The ``/v1/debug/events`` body: one causally-ordered stream.
+
+        Cluster backends merge every worker's flight-recorder stream
+        with the coordinator's own (the ``events_snapshot`` protocol
+        method); in-process backends share this process's recorder, so
+        the global :data:`EVENTS` already holds everything.
+        """
+        collect = getattr(self.backend, "events_snapshot", None)
+        events = collect() if collect is not None else EVENTS.events()
+        if since_ts is not None:
+            events = [event for event in events if event["ts"] > since_ts]
+        total = len(events)
+        if limit is not None and limit >= 0:
+            events = events[-limit:] if limit else []
+        return {
+            "events": events,
+            "count": len(events),
+            "total": total,
+            "recorder": EVENTS.snapshot(),
+        }
+
+    def profile(self, action: str, hz: float | None = None) -> dict:
+        """Drive the sampling profiler (this process or the cluster).
+
+        Delegates to the backend's ``profile`` protocol method when it
+        has one (the cluster coordinator scatters over IPC and merges
+        folded stacks); otherwise drives the process-global profiler.
+        """
+        drive = getattr(self.backend, "profile", None)
+        if drive is not None:
+            return drive(action, hz=hz)
+        if action == "start":
+            PROFILER.start(hz=hz)
+        elif action == "stop":
+            PROFILER.stop()
+        elif action == "reset":
+            PROFILER.reset()
+        snapshot = PROFILER.snapshot()
+        return {
+            "action": action,
+            "enabled": snapshot["enabled"],
+            "profilers": [snapshot],
+            "folded": {
+                f"{PROFILER.source};{stack}": count
+                for stack, count in PROFILER.folded().items()
+            },
+        }
 
     def metrics_snapshot(self) -> dict:
         """Everything ``/metrics`` reports, as one JSON-ready dict.
@@ -566,10 +791,20 @@ class QueryServer(ThreadingHTTPServer):
         stages = dict(snapshot.get("stages") or {})
         stages.update(http["stages"])
         snapshot["stages"] = stages
+        snapshot["tracing"] = TRACER.snapshot()
+        # A scrape is an evaluation tick: the repro_slo_* gauges are
+        # current as of the scrape even with the timer thread disabled.
+        # Evaluate before sampling the pool so a transition fired by
+        # this very scrape is reflected in the pressure gauge too.
+        slo = self.evaluate_slo()
+        if slo is not None:
+            snapshot["slo"] = slo
         snapshot["queue_depth"] = self.pool.queue_depth
         snapshot["workers"] = self.pool.workers
         snapshot["max_queue"] = self.pool.max_queue
-        snapshot["tracing"] = TRACER.snapshot()
+        snapshot["pressure"] = self.pool.pressure
+        snapshot["events"] = EVENTS.snapshot()
+        snapshot["profiler"] = PROFILER.snapshot()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -583,6 +818,10 @@ class QueryServer(ThreadingHTTPServer):
 
     def close(self) -> None:
         """Stop serving and release the pool and socket."""
+        self._slo_stop.set()
+        if self._slo_thread is not None:
+            self._slo_thread.join(timeout=5)
+            self._slo_thread = None
         TRACER.remove_sink(self._trace_sink)
         self.shutdown()
         if self._thread is not None:

@@ -33,6 +33,8 @@ from typing import Sequence
 from repro.analysis.lockdebug import make_lock
 from repro.api import Query, QueryResult, UnsupportedQueryError, UpdateOp
 from repro.core.framework import KSpin
+from repro.obs.events import EVENTS
+from repro.obs.profile import PROFILER
 from repro.obs.trace import TRACER
 
 
@@ -163,8 +165,17 @@ def worker_main(
     ping         ``None``                ``"pong"``
     metrics      ``None``                ``engine.metrics_snapshot()``
     health       ``None``                ``engine.health()``
+    events       ``{"since_seq": int}``  ``{"events": [...], "recorder": ...}``
+    profile      ``{"action", "hz"}``    profiler snapshot + folded stacks
     stop         ``None``                ``"bye"`` (then exit)
     ===========  ======================  ==============================
+
+    ``events`` drains this worker's flight-recorder stream (each worker
+    re-labels the process-global recorder with its own name right after
+    fork/rehydrate, so sequence numbers are per-worker monotonic);
+    ``profile`` is the cluster profiler scatter — start/stop/status the
+    worker's sampling profiler and return its folded stacks for the
+    coordinator to merge.
 
     ``query_batch`` is the batched hot path: the payload carries every
     sub-query assigned to this worker for one client batch, the worker
@@ -183,6 +194,21 @@ def worker_main(
         kspin = load_kspin(snapshot_path)
         for entry in journal:
             kspin.apply(UpdateOp.from_dict(entry))
+    # The child owns fresh copies of the process-global observability
+    # singletons (fork duplicated them; spawn re-imported them): label
+    # them with the worker's name so merged streams attribute correctly,
+    # and record how this worker came to life — the flight-recorder
+    # line that lets a post-mortem distinguish a COW fork from a
+    # snapshot rehydrate.
+    EVENTS.configure(source=name)
+    EVENTS.reset()  # inherited buffer is the parent's history, not ours
+    PROFILER.reset()
+    PROFILER.source = name
+    EVENTS.emit(
+        "worker.start",
+        mode="fork" if kspin is not None and snapshot_path is None else "rehydrate",
+        journal=len(journal),
+    )
     engine = Engine(kspin, cache_size=cache_size)
 
     while True:
@@ -257,6 +283,30 @@ def worker_main(
                 reply = ("ok", engine.metrics_snapshot())
             elif kind == "health":
                 reply = ("ok", {**engine.health(), "worker": name})
+            elif kind == "events":
+                since_seq = 0
+                if isinstance(payload, dict):
+                    since_seq = int(payload.get("since_seq", 0))
+                reply = ("ok", {
+                    "events": EVENTS.events(since_seq=since_seq),
+                    "recorder": EVENTS.snapshot(),
+                })
+            elif kind == "profile":
+                action = "status"
+                hz = None
+                if isinstance(payload, dict):
+                    action = str(payload.get("action", "status"))
+                    hz = payload.get("hz")
+                if action == "start":
+                    PROFILER.start(hz=hz)
+                elif action == "stop":
+                    PROFILER.stop()
+                elif action == "reset":
+                    PROFILER.reset()
+                reply = ("ok", {
+                    "snapshot": PROFILER.snapshot(),
+                    "folded": PROFILER.folded(),
+                })
             elif kind == "stop":
                 conn.send(("ok", "bye"))
                 break
