@@ -3,13 +3,23 @@
 Three layers, all dependency-free at runtime (``ast`` + ``threading``):
 
 * a **project-invariant linter** (:mod:`~repro.analysis.rules`,
-  :mod:`~repro.analysis.linter`): KSP001–KSP006 encode the invariants
-  the serving stack's correctness arguments rest on — frozen API
-  values stay frozen, shared state is written under its declared lock,
-  nothing blocks while holding a lock, fingerprint-reproducible code
-  paths stay deterministic, the supervision/IPC tier never swallows
-  exceptions, and nothing unpicklable crosses the IPC boundary.
-  Exposed as ``repro lint``.
+  :mod:`~repro.analysis.project_rules`, :mod:`~repro.analysis.linter`):
+  the per-module rules KSP001–KSP007 encode the invariants the serving
+  stack's correctness arguments rest on — frozen API values stay
+  frozen, shared state is written under its declared lock, nothing
+  blocks while holding a lock, fingerprint-reproducible code paths stay
+  deterministic, the supervision/IPC tier never swallows exceptions,
+  nothing unpicklable crosses the IPC boundary, and batch entry points
+  never loop over per-item shims.  The interprocedural rules
+  KSP008–KSP011 run over a whole-program symbol table
+  (:mod:`~repro.analysis.symbols`) and approximate call graph
+  (:mod:`~repro.analysis.callgraph`): no lock-order cycles across call
+  chains, transitive picklability of IPC payloads, engine protocol and
+  batch-registry conformance, and observability coverage of every HTTP
+  route, pipe kind, and CLI verb.  A finding-count ratchet
+  (:mod:`~repro.analysis.baseline`, ``analysis-baseline.json``) lets
+  debt only ever shrink; findings render as text, JSON, or SARIF 2.1.0
+  (:mod:`~repro.analysis.sarif`).  Exposed as ``repro lint``.
 * a **strict typing gate** (:mod:`~repro.analysis.typecheck`): a thin
   wrapper over ``mypy --strict`` (pinned dev dependency, configured in
   ``pyproject.toml``).  Exposed as ``repro typecheck``.
@@ -23,27 +33,54 @@ Three layers, all dependency-free at runtime (``ast`` + ``threading``):
 See ``docs/static-analysis.md`` for the rule catalogue and workflows.
 """
 
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    RatchetResult,
+    load_baseline,
+    ratchet,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, Project
 from repro.analysis.findings import Finding
 from repro.analysis.linter import (
+    ALL_RULES,
+    RULES_BY_CODE,
+    changed_files,
     iter_python_files,
     lint_paths,
     lint_source,
     module_key,
     select_rules,
 )
-from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+from repro.analysis.project_rules import PROJECT_RULES
+from repro.analysis.rules import MODULE_RULES, Rule
+from repro.analysis.sarif import render_sarif, to_sarif
+from repro.analysis.symbols import ProjectSymbols
 from repro.analysis.typecheck import mypy_available, run_typecheck
 
 __all__ = [
     "ALL_RULES",
+    "CallGraph",
+    "DEFAULT_BASELINE",
     "Finding",
+    "MODULE_RULES",
+    "PROJECT_RULES",
+    "Project",
+    "ProjectSymbols",
     "RULES_BY_CODE",
+    "RatchetResult",
     "Rule",
+    "changed_files",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "module_key",
     "mypy_available",
+    "ratchet",
+    "render_sarif",
     "run_typecheck",
     "select_rules",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,127 @@
+"""The finding-count ratchet: lint debt may only ever shrink.
+
+``analysis-baseline.json`` at the repository root records, per rule
+code, how many findings the tree is currently allowed to carry.  The
+gate (``repro lint --ratchet``) fails when any rule's live count rises
+above its baselined count — new debt never lands — and *auto-shrinks*
+the baseline file whenever counts fall, so an improvement is locked in
+by the very run that observes it (commit the rewritten file with the
+fix).  Counts, not line numbers, are the contract: findings keyed by
+position would churn on every unrelated edit above them.
+
+The file also carries the rendered findings snapshot purely for human
+review (``git diff`` on the baseline shows *which* debt moved); the
+gate never reads it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+#: Default location: the repository root, next to ``pyproject.toml``.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+_VERSION = 1
+
+
+def _counts(findings: Sequence[Finding]) -> dict[str, int]:
+    return dict(sorted(Counter(f.code for f in findings).items()))
+
+
+def _snapshot(findings: Sequence[Finding], root: Path) -> list[str]:
+    rendered = []
+    for finding in sorted(findings):
+        path = Path(finding.path)
+        try:
+            shown = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            shown = path
+        rendered.append(f"{shown}: {finding.code} {finding.message}")
+    return rendered
+
+
+def write_baseline(
+    path: Path, findings: Sequence[Finding], root: Path | None = None
+) -> dict[str, object]:
+    """(Re)create the baseline file from the current findings."""
+    payload: dict[str, object] = {
+        "version": _VERSION,
+        "counts": _counts(findings),
+        "findings": _snapshot(findings, root or path.parent),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """The per-rule allowance; a missing file allows nothing."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    counts = payload.get("counts", {})
+    return {str(code): int(count) for code, count in counts.items()}
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of one gate evaluation."""
+
+    ok: bool
+    #: code -> (live, allowed) for rules that rose above their allowance
+    regressions: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: code -> (live, allowed) for rules that fell below it
+    improvements: dict[str, tuple[int, int]] = field(default_factory=dict)
+    shrunk: bool = False
+
+    def summary(self) -> str:
+        lines = []
+        for code, (live, allowed) in sorted(self.regressions.items()):
+            lines.append(
+                f"ratchet: {code} rose to {live} finding(s), baseline "
+                f"allows {allowed} — fix the new finding(s), do not "
+                "baseline them"
+            )
+        for code, (live, allowed) in sorted(self.improvements.items()):
+            lines.append(
+                f"ratchet: {code} fell to {live} finding(s) from {allowed}"
+                + (" — baseline auto-shrunk, commit it" if self.shrunk else "")
+            )
+        if not lines:
+            lines.append("ratchet: all rule counts at or below baseline")
+        return "\n".join(lines)
+
+
+def ratchet(
+    findings: Sequence[Finding],
+    baseline_path: Path,
+    update: bool = True,
+    root: Path | None = None,
+) -> RatchetResult:
+    """Gate ``findings`` against the baseline; auto-shrink on improvement.
+
+    The baseline is rewritten (when ``update`` is true) only when every
+    rule is at or below its allowance and at least one is strictly
+    below — a failing gate never modifies the file, so a red CI run
+    leaves the working tree clean.
+    """
+    allowed = load_baseline(baseline_path)
+    live = _counts(findings)
+    result = RatchetResult(ok=True)
+    for code in sorted(set(allowed) | set(live)):
+        have = live.get(code, 0)
+        cap = allowed.get(code, 0)
+        if have > cap:
+            result.regressions[code] = (have, cap)
+        elif have < cap:
+            result.improvements[code] = (have, cap)
+    result.ok = not result.regressions
+    if result.ok and result.improvements and update:
+        write_baseline(baseline_path, findings, root=root)
+        result.shrunk = True
+    return result

@@ -199,6 +199,221 @@ BATCH_SUFFIXES = ("_many", "_batch")
 PER_ITEM_SHIMS = frozenset({"execute", "distance", "knn", "lower_bound"})
 
 # ----------------------------------------------------------------------
+# KSP009 — transitive IPC payload picklability
+# ----------------------------------------------------------------------
+#: Class names whose instances the ``multiprocessing`` machinery itself
+#: knows how to move across a ``Process(...)`` boundary (the pipe ends
+#: handed to a child are reduced by the spawn plumbing, not pickled by
+#: our payload code).
+PROCESS_SAFE_TYPES = frozenset({"Connection", "PipeConnection"})
+
+# ----------------------------------------------------------------------
+# KSP010 — the repro.api engine protocol and its batch overrides
+# ----------------------------------------------------------------------
+#: The protocol surface: method name -> canonical positional parameter
+#: names after ``self``.  Extra positional parameters are allowed only
+#: with defaults (callers dispatch through the protocol shape).
+ENGINE_PROTOCOL_PARAMS: dict[str, tuple[str, ...]] = {
+    "execute": ("query",),
+    "execute_many": ("queries",),
+    "apply": ("op",),
+}
+
+#: module key -> class name -> the protocol methods that class claims.
+#: The four road-network baselines are query-only (the paper's
+#: comparison runs them against static indexes); the three updatable
+#: engines claim ``apply`` as well.
+ENGINE_REGISTRY: dict[str, dict[str, tuple[str, ...]]] = {
+    "core/framework.py": {
+        "KSpin": ("execute", "execute_many", "apply"),
+    },
+    "serve/engine.py": {
+        "Engine": ("execute", "execute_many", "apply"),
+    },
+    "serve/cluster.py": {
+        "ClusterCoordinator": ("execute", "execute_many", "apply"),
+    },
+    "baselines/expansion.py": {
+        "NetworkExpansion": ("execute", "execute_many"),
+    },
+    "baselines/fsfbs.py": {
+        "FsFbs": ("execute", "execute_many"),
+    },
+    "baselines/gtree_sk.py": {
+        "GTreeSpatialKeyword": ("execute", "execute_many"),
+    },
+    "baselines/road.py": {
+        "Road": ("execute", "execute_many"),
+    },
+}
+
+#: Module-key prefixes scanned for *unregistered* engine-shaped classes
+#: (anything defining both ``execute`` and ``execute_many``): a new
+#: engine must be added to :data:`ENGINE_REGISTRY` so conformance and
+#: batch-equivalence coverage follow it.
+ENGINE_SCAN_PREFIXES = (
+    "serve/engine.py",
+    "serve/cluster.py",
+    "baselines/",
+    "core/framework.py",
+)
+
+#: Module-key prefixes whose public ``*_many``/``*_batch`` definitions
+#: must be registered below (private ``_``-prefixed helpers and
+#: non-protocol modules — cache sweeps, HTTP handlers, bench harnesses
+#: — are out of scope).
+BATCH_SCAN_PREFIXES = (
+    "api.py",
+    "serve/engine.py",
+    "serve/cluster.py",
+    "core/framework.py",
+    "baselines/",
+    "distance/",
+    "lowerbound/",
+)
+
+#: Batch override -> the sequential reference its equivalence tests run
+#: against.  ``"<module key>::<Class>.<method>"`` (or a bare function
+#: name for module-level entries).  An unregistered override is a
+#: KSP010 finding: nothing guarantees it computes what the per-item
+#: path computes.
+BATCH_REGISTRY: dict[str, str] = {
+    "api.py::execute_batch": "api.execute_many_sequential",
+    "serve/engine.py::Engine.execute_many": "api.execute_many_sequential",
+    "serve/cluster.py::ClusterCoordinator.execute_many": (
+        "api.execute_many_sequential"
+    ),
+    "core/framework.py::KSpin.execute_many": "api.execute_many_sequential",
+    "baselines/expansion.py::NetworkExpansion.execute_many": (
+        "api.execute_many_sequential"
+    ),
+    "baselines/fsfbs.py::FsFbs.execute_many": "api.execute_many_sequential",
+    "baselines/gtree_sk.py::GTreeSpatialKeyword.execute_many": (
+        "api.execute_many_sequential"
+    ),
+    "baselines/road.py::Road.execute_many": "api.execute_many_sequential",
+    "distance/base.py::DistanceOracle.distances_many": (
+        "DistanceOracle.distance (definitional sequential loop)"
+    ),
+    "distance/base.py::DistanceOracle.knn_many": (
+        "DistanceOracle.knn (definitional sequential loop)"
+    ),
+    "distance/dijkstra_oracle.py::DijkstraOracle.distances_many": (
+        "DistanceOracle.distances_many"
+    ),
+    "distance/dijkstra_oracle.py::BidirectionalDijkstraOracle.distances_many": (
+        "DistanceOracle.distances_many"
+    ),
+    "lowerbound/base.py::LowerBounder.lower_bounds_to_many": (
+        "LowerBounder.lower_bound (definitional sequential loop)"
+    ),
+    "lowerbound/alt.py::AltLowerBounder.lower_bounds_to_many": (
+        "LowerBounder.lower_bounds_to_many"
+    ),
+    "lowerbound/alt.py::AltLowerBounder.lower_bounds_many": (
+        "LowerBounder.lower_bounds_to_many"
+    ),
+}
+
+# ----------------------------------------------------------------------
+# KSP011 — observability coverage of every externally-driven surface
+# ----------------------------------------------------------------------
+#: Where each surface kind is discovered (module key): HTTP endpoints
+#: from ``endpoint`` string comparisons in the request router, pipe
+#: message kinds from ``kind`` comparisons in the worker loop, CLI
+#: verbs from ``add_parser("...")`` registrations.
+SURFACE_SOURCES: dict[str, str] = {
+    "http": "serve/http.py",
+    "ipc": "serve/ipc.py",
+    "cli": "cli.py",
+}
+
+#: Surface -> the span/event names that prove it is observable.  An
+#: empty tuple is an *explicit* exemption (liveness probes and the
+#: observability drains themselves: instrumenting ``/metrics`` with a
+#: metric would recurse).  Every listed name must match
+#: :data:`INSTRUMENTATION_NAMES` / :data:`INSTRUMENTATION_PREFIXES`
+#: *and* be emitted somewhere in the tree.
+OBSERVED_SURFACES: dict[str, tuple[str, ...]] = {
+    "http:/query": ("http.query",),
+    "http:/bknn": ("http.bknn",),
+    "http:/topk": ("http.topk",),
+    "http:/batch": ("http.batch",),
+    "http:/update": ("http.update", "update.applied"),
+    "http:/healthz": (),
+    "http:/metrics": (),
+    "http:/debug/traces": (),
+    "http:/debug/events": (),
+    "http:/debug/profile": ("profiler.start", "profiler.stop"),
+    "ipc:query": ("worker.query",),
+    "ipc:query_batch": ("worker.query", "batch.scatter"),
+    "ipc:update": ("update.applied",),
+    "ipc:ping": (),
+    "ipc:metrics": (),
+    "ipc:health": (),
+    "ipc:events": (),
+    "ipc:profile": ("profiler.start", "profiler.stop"),
+    "ipc:stop": ("worker.stop",),
+    "cli:serve": ("http.query", "worker.spawn"),
+    "cli:explain": ("explain.query",),
+    "cli:profile": ("profiler.start",),
+    "cli:events": (),
+    "cli:stats": (),
+    "cli:build": (),
+    "cli:query": (),
+    "cli:sketch": (),
+    "cli:lint": (),
+    "cli:typecheck": (),
+    "cli:demo": (),
+}
+
+#: Every span/event name the tree is allowed to emit.  An emit site
+#: whose constant name is absent here is a KSP011 finding (drift: the
+#: registry is the contract dashboards and alert rules are written
+#: against), and a name listed here but never emitted is stale.
+INSTRUMENTATION_NAMES = frozenset({
+    # flight-recorder events
+    "query.shed",
+    "query.rate_limited",
+    "query.deadline",
+    "cache.evict",
+    "cache.admit_rejected",
+    "worker.start",
+    "worker.spawn",
+    "worker.death",
+    "worker.restart",
+    "worker.stop",
+    "batch.scatter",
+    "batch.gather",
+    "sketch.refresh",
+    "slo.burn_start",
+    "slo.burn_stop",
+    "update.applied",
+    "profiler.start",
+    "profiler.stop",
+    # spans
+    "http.batch",
+    "http.update",
+    "cluster.execute",
+    "cluster.dispatch",
+    "cluster.merge",
+    "cluster.sketch_short_circuit",
+    "worker.query",
+    "engine.cache_lookup",
+    "engine.lock_wait",
+    "engine.execute",
+    "directed.execute",
+    "processor.search",
+    "processor.heap_generation",
+})
+
+#: Prefixes for dynamically-built names (``"http." + endpoint``,
+#: ``f"explain.{kind}"``): an emit site whose name is a constant prefix
+#: + runtime suffix is valid when the prefix is listed here, and a
+#: registry name matching a prefix counts as emitted.
+INSTRUMENTATION_PREFIXES = ("http.", "explain.")
+
+# ----------------------------------------------------------------------
 # Runtime write-guard registry (REPRO_LOCK_DEBUG=1)
 # ----------------------------------------------------------------------
 #: (dotted module, class name, lock attribute, guarded attributes) —

@@ -28,11 +28,19 @@ ten lines::
 from __future__ import annotations
 
 import re
+import subprocess
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.callgraph import Project
 from repro.analysis.findings import Finding
-from repro.analysis.rules import ALL_RULES, ModuleContext, Rule
+from repro.analysis.project_rules import PROJECT_RULES
+from repro.analysis.rules import MODULE_RULES, ModuleContext, Rule
+
+#: The full catalogue: per-module rules then interprocedural rules.
+ALL_RULES: tuple[Rule, ...] = tuple(MODULE_RULES) + tuple(PROJECT_RULES)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
 
 _IGNORE_RE = re.compile(
     r"#\s*ksp:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
@@ -92,53 +100,128 @@ def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
                 yield candidate
 
 
+def _parse_module(
+    source: str, path: str, key: str | None
+) -> ModuleContext | Finding:
+    effective_key = _scope_override(source) or key or Path(path).name
+    try:
+        return ModuleContext.parse(path, effective_key, source)
+    except SyntaxError as error:
+        return Finding(
+            path=path,
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            code="KSP000",
+            message=f"syntax error: {error.msg}",
+        )
+
+
+def _run_rules(
+    contexts: Sequence[ModuleContext], rules: Sequence[Rule]
+) -> list[Finding]:
+    """Per-module rules on each context, interprocedural rules once.
+
+    Both passes share the suppression contract: a ``# ksp: ignore``
+    trailing comment on the flagged line silences the finding, looked
+    up through whichever parsed module the finding points into.
+    """
+    by_path = {ctx.path: ctx for ctx in contexts}
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            if not rule.applies(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if not _suppressed(ctx.line_text(finding.line), finding.code):
+                    findings.append(finding)
+    project = Project.build(list(contexts))
+    for rule in rules:
+        for finding in rule.project_check(project):
+            ctx = by_path.get(finding.path)
+            line = ctx.line_text(finding.line) if ctx else ""
+            if not _suppressed(line, finding.code):
+                findings.append(finding)
+    return sorted(findings)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     key: str | None = None,
     rules: Sequence[Rule] = ALL_RULES,
 ) -> list[Finding]:
-    """Lint one source string; the unit every file and test goes through."""
-    effective_key = _scope_override(source) or key or Path(path).name
-    try:
-        ctx = ModuleContext.parse(path, effective_key, source)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                col=(error.offset or 1) - 1,
-                code="KSP000",
-                message=f"syntax error: {error.msg}",
-            )
-        ]
-    findings: list[Finding] = []
-    for rule in rules:
-        if not rule.applies(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not _suppressed(ctx.line_text(finding.line), finding.code):
-                findings.append(finding)
-    return sorted(findings)
+    """Lint one source string as a single-module project."""
+    parsed = _parse_module(source, path, key)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    return _run_rules([parsed], rules)
 
 
 def lint_paths(
     paths: Sequence[Path | str],
     rules: Sequence[Rule] = ALL_RULES,
+    changed_only: set[Path] | None = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    """Lint every ``.py`` file under ``paths`` as one whole program.
+
+    All files are parsed into one project — the interprocedural rules
+    need the complete symbol table and call graph regardless of what
+    changed — but when ``changed_only`` is given (``--changed``), only
+    findings located in those files are reported: the analysis stays
+    whole-program, the *report* is diff-sized.
+    """
+    contexts: list[ModuleContext] = []
     findings: list[Finding] = []
     for file_path in iter_python_files(Path(p) for p in paths):
         source = file_path.read_text(encoding="utf-8")
-        findings.extend(
-            lint_source(
-                source,
-                path=str(file_path),
-                key=module_key(file_path),
-                rules=rules,
-            )
-        )
+        parsed = _parse_module(source, str(file_path), module_key(file_path))
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+        else:
+            contexts.append(parsed)
+    findings.extend(_run_rules(contexts, rules))
+    if changed_only is not None:
+        resolved = {p.resolve() for p in changed_only}
+        findings = [
+            f for f in findings if Path(f.path).resolve() in resolved
+        ]
     return sorted(findings)
+
+
+def changed_files(ref: str = "HEAD", root: Path | None = None) -> set[Path]:
+    """Python files changed relative to ``ref``, plus untracked ones.
+
+    Backs ``repro lint --changed``: committed + working-tree changes
+    against the ref's tree, and untracked files (a brand-new module must
+    not dodge the gate).  Raises ``RuntimeError`` when git is unusable —
+    the caller falls back to a full-report run rather than silently
+    passing.
+    """
+    cwd = root or Path.cwd()
+    changed: set[Path] = set()
+    commands = (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    for command in commands:
+        try:
+            completed = subprocess.run(
+                command,
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError) as error:
+            raise RuntimeError(
+                f"cannot determine changed files ({' '.join(command)}): {error}"
+            ) from error
+        for line in completed.stdout.splitlines():
+            name = line.strip()
+            if name.endswith(".py"):
+                changed.add((cwd / name).resolve())
+    return changed
 
 
 def select_rules(codes: Iterable[str] | None) -> list[Rule]:

@@ -1,0 +1,898 @@
+"""The interprocedural KSP rules: invariants that span module boundaries.
+
+========  ============================================================
+KSP008    static lock-order-cycle detection over the may-acquire graph
+KSP009    IPC payloads must be *transitively* picklable
+KSP010    engine/oracle/baseline protocol conformance + batch registry
+KSP011    observability coverage of HTTP routes, pipe kinds, CLI verbs
+========  ============================================================
+
+All four run in :meth:`~repro.analysis.rules.Rule.project_check` over
+the whole-program :class:`~repro.analysis.callgraph.Project` (symbol
+table + approximate call graph) that :func:`repro.analysis.linter.
+lint_paths` builds once per invocation.  Checks that need the *real*
+modules to be meaningful (staleness of a registry entry, coverage of a
+declared surface) only fire when the project actually contains those
+modules, so rule fixtures — tiny single-file projects — exercise the
+drift direction without dragging in the serving stack.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import config
+from repro.analysis.callgraph import CallGraph, CallSite, Project, _local_types
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, dotted_name, is_lock_expr
+from repro.analysis.symbols import (
+    UNPICKLABLE_FACTORIES,
+    ClassSymbol,
+    FunctionSymbol,
+    ModuleSymbols,
+)
+
+#: Method leaves that acquire a lock imperatively (held, conservatively,
+#: until the end of the enclosing function — the project idiom pairs
+#: them with ``try/finally`` release).
+_ACQUIRE_LEAVES = frozenset({"acquire", "acquire_read", "acquire_write"})
+
+
+def _finding(path: str, line: int, code: str, message: str) -> Finding:
+    return Finding(path=path, line=line, col=0, code=code, message=message)
+
+
+# ----------------------------------------------------------------------
+# KSP008 — static lock-order cycles
+# ----------------------------------------------------------------------
+class _LockRegion:
+    """A lexical range of one function during which one lock is held."""
+
+    __slots__ = ("lock_id", "start", "end", "hold_line")
+
+    def __init__(self, lock_id: str, start: int, end: int, hold_line: int):
+        self.lock_id = lock_id
+        self.start = start
+        self.end = end
+        self.hold_line = hold_line
+
+
+class LockOrderCycleRule(Rule):
+    """Lift ``lockdebug``'s runtime lock-order check to the call graph.
+
+    Builds the *may-acquire* graph: an edge ``A -> B`` means some code
+    path acquires lock ``B`` (a ``with`` block, an ``acquire_*`` call,
+    or transitively through any function reachable in the call graph)
+    while already holding ``A`` (a ``with`` site or a ``# ksp:
+    holds[...]`` contract).  A cycle in that graph is a lock-order
+    inversion two threads can interleave into a deadlock; the finding
+    prints one acquisition path per edge of the cycle.  Lock identity is
+    ``ClassName.attr`` — the same identity the runtime detector uses —
+    so re-acquiring the *same* (reentrant) lock never forms an edge.
+    """
+
+    code = "KSP008"
+    title = "lock-order cycle across the call graph"
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, Project)
+        graph = _MayAcquireGraph(project)
+        for cycle_edges in graph.cycles():
+            first = cycle_edges[0]
+            order = " -> ".join(edge.src for edge in cycle_edges)
+            order += f" -> {cycle_edges[0].src}"
+            paths = "; ".join(
+                f"[{edge.src} -> {edge.dst}] {edge.describe()}"
+                for edge in cycle_edges
+            )
+            yield _finding(
+                first.path,
+                first.hold_line,
+                self.code,
+                f"lock-order cycle {order}: two threads taking these "
+                f"locks in opposite orders can deadlock — {paths}",
+            )
+
+
+class _Edge:
+    __slots__ = ("src", "dst", "path", "hold_line", "hops")
+
+    def __init__(
+        self, src: str, dst: str, path: str, hold_line: int, hops: list[str]
+    ):
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.hold_line = hold_line
+        self.hops = hops
+
+    def describe(self) -> str:
+        return " -> ".join(self.hops)
+
+
+class _MayAcquireGraph:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.symbols = project.symbols
+        self.callgraph = project.callgraph
+        #: qualname -> [(lock_id, line)] locks the function itself takes
+        self.direct: dict[str, list[tuple[str, int]]] = {}
+        #: qualname -> [_LockRegion] ranges during which a lock is held
+        self.regions: dict[str, list[_LockRegion]] = {}
+        self._transitive_cache: dict[str, dict[str, list[str]]] = {}
+        for fn in self.symbols.iter_functions():
+            self._scan_function(fn)
+        #: (src, dst) -> _Edge, first witness wins
+        self.edges: dict[tuple[str, str], _Edge] = {}
+        for fn in self.symbols.iter_functions():
+            self._collect_edges(fn)
+
+    # -- per-function lock facts ---------------------------------------
+    def _scan_function(self, fn: FunctionSymbol) -> None:
+        regions: list[_LockRegion] = []
+        direct: list[tuple[str, int]] = []
+        end = fn.node.end_lineno or fn.node.lineno
+        for contract in fn.holds:
+            lock_id = self._contract_identity(contract, fn)
+            if lock_id:
+                regions.append(
+                    _LockRegion(lock_id, fn.node.lineno, end, fn.node.lineno)
+                )
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if not is_lock_expr(item.context_expr):
+                        continue
+                    lock_id = self._lock_identity(item.context_expr, fn)
+                    if lock_id is None:
+                        continue
+                    node_end = node.end_lineno or node.lineno
+                    regions.append(
+                        _LockRegion(lock_id, node.lineno, node_end, node.lineno)
+                    )
+                    direct.append((lock_id, node.lineno))
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _ACQUIRE_LEAVES and is_lock_expr(
+                    node.func.value
+                ):
+                    lock_id = self._lock_identity(node.func.value, fn)
+                    if lock_id is None:
+                        continue
+                    regions.append(
+                        _LockRegion(lock_id, node.lineno, end, node.lineno)
+                    )
+                    direct.append((lock_id, node.lineno))
+        if regions:
+            self.regions[fn.qualname] = regions
+        if direct:
+            self.direct[fn.qualname] = direct
+
+    def _lock_identity(self, expr: ast.expr, fn: FunctionSymbol) -> str | None:
+        node: ast.expr = expr
+        if isinstance(node, ast.Call):
+            leaf = dotted_name(node.func).rsplit(".", 1)[-1]
+            if leaf in ("read", "write") and isinstance(node.func, ast.Attribute):
+                node = node.func.value  # self.lock.read() -> self.lock
+            elif leaf in ("read_locked", "write_locked") and node.args:
+                node = node.args[0]
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            owner = fn.class_name or fn.key
+            return f"{owner}.{node.attr}"
+        if isinstance(node, ast.Name):
+            return f"{fn.key}::{node.id}"
+        return None
+
+    def _contract_identity(self, contract: str, fn: FunctionSymbol) -> str | None:
+        if contract.startswith("self."):
+            owner = fn.class_name or fn.key
+            return f"{owner}.{contract[len('self.'):]}"
+        return f"{fn.key}::{contract}" if contract else None
+
+    # -- transitive acquisitions ---------------------------------------
+    def _transitive(self, qualname: str) -> dict[str, list[str]]:
+        """lock_id -> hop descriptions for every lock reachable code takes."""
+        cached = self._transitive_cache.get(qualname)
+        if cached is not None:
+            return cached
+        result: dict[str, list[str]] = {}
+        for lock_id, line in self.direct.get(qualname, []):
+            result.setdefault(lock_id, [f"{qualname}:{line}"])
+        for callee, chain in self.callgraph.reachable(qualname).items():
+            for lock_id, line in self.direct.get(callee, []):
+                if lock_id in result:
+                    continue
+                hops = [
+                    f"{site.callee} (line {site.line})" for site in chain
+                ]
+                result[lock_id] = [*hops, f"acquires at {callee}:{line}"]
+        self._transitive_cache[qualname] = result
+        return result
+
+    # -- edges ----------------------------------------------------------
+    def _collect_edges(self, fn: FunctionSymbol) -> None:
+        regions = self.regions.get(fn.qualname)
+        if not regions:
+            return
+        path = self.symbols.modules[fn.key].path
+        for region in regions:
+            # Nested direct acquisitions inside the held range.
+            for lock_id, line in self.direct.get(fn.qualname, []):
+                if region.start < line <= region.end and lock_id != region.lock_id:
+                    self._add_edge(
+                        region, lock_id, path, fn,
+                        [f"{fn.qualname}:{line}"],
+                    )
+            # Acquisitions reachable through calls made while holding.
+            for site in self.callgraph.callees(fn.qualname):
+                if not (region.start <= site.line <= region.end):
+                    continue
+                for lock_id, hops in self._transitive(site.callee).items():
+                    if lock_id == region.lock_id:
+                        continue
+                    self._add_edge(
+                        region, lock_id, path, fn,
+                        [f"call {site.callee} ({fn.key}:{site.line})", *hops],
+                    )
+
+    def _add_edge(
+        self,
+        region: _LockRegion,
+        lock_id: str,
+        path: str,
+        fn: FunctionSymbol,
+        hops: list[str],
+    ) -> None:
+        key = (region.lock_id, lock_id)
+        if key in self.edges:
+            return
+        self.edges[key] = _Edge(
+            src=region.lock_id,
+            dst=lock_id,
+            path=path,
+            hold_line=region.hold_line,
+            hops=[f"held in {fn.qualname} since line {region.hold_line}", *hops],
+        )
+
+    # -- cycle detection -------------------------------------------------
+    def cycles(self) -> list[list[_Edge]]:
+        """One witness cycle (as its edge list) per strongly-connected
+        component of the may-acquire graph that contains a cycle."""
+        adjacency: dict[str, list[str]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, []).append(dst)
+            adjacency.setdefault(dst, [])
+        components = _tarjan_sccs(adjacency)
+        witnesses: list[list[_Edge]] = []
+        for component in components:
+            if len(component) < 2:
+                continue
+            in_scc = set(component)
+            start = min(in_scc)
+            cycle_nodes = self._cycle_through(start, in_scc, adjacency)
+            if not cycle_nodes:
+                continue
+            edges = [
+                self.edges[(cycle_nodes[i], cycle_nodes[(i + 1) % len(cycle_nodes)])]
+                for i in range(len(cycle_nodes))
+            ]
+            witnesses.append(edges)
+        return sorted(witnesses, key=lambda edges: (edges[0].path, edges[0].hold_line))
+
+    @staticmethod
+    def _cycle_through(
+        start: str, in_scc: set[str], adjacency: dict[str, list[str]]
+    ) -> list[str]:
+        # BFS within the SCC from start back to start.
+        queue: list[list[str]] = [[start]]
+        while queue:
+            nodes = queue.pop(0)
+            for succ in sorted(adjacency.get(nodes[-1], [])):
+                if succ == start and len(nodes) >= 2:
+                    return nodes
+                if succ in in_scc and succ not in nodes:
+                    queue.append(nodes + [succ])
+        # Two-node cycles: start -> x -> start.
+        for succ in sorted(adjacency.get(start, [])):
+            if succ in in_scc and start in adjacency.get(succ, []):
+                return [start, succ]
+        return []
+
+
+def _tarjan_sccs(adjacency: dict[str, list[str]]) -> list[list[str]]:
+    """Iterative Tarjan: strongly-connected components of ``adjacency``."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+    for root in sorted(adjacency):
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency.get(node, [])
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                work[-1] = (node, child_index)
+                if child not in index_of:
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return components
+
+
+# ----------------------------------------------------------------------
+# KSP009 — transitively unpicklable IPC payloads
+# ----------------------------------------------------------------------
+class IpcPayloadReachabilityRule(Rule):
+    """Everything reaching a pipe must bottom out in picklable types.
+
+    KSP006 catches lambdas and closures *lexically* at the send site;
+    this rule follows the object graph: an argument whose
+    statically-known type (parameter annotations, local constructor
+    assignments, ``self.attr`` types) transitively holds a lock, thread,
+    socket, or thread-local — with no ``__getstate__``/``__reduce__``
+    on the path to shed it — will not survive a spawn-mode restart,
+    even though fork-mode COW makes it appear to work today.
+    """
+
+    code = "KSP009"
+    title = "IPC payload reaches an unpicklable type"
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, Project)
+        taint = project.symbols.pickle_taint()
+        for module in project.symbols.modules.values():
+            if not module.key.startswith(config.IPC_PREFIX):
+                continue
+            yield from self._check_module(project, module, taint)
+
+    def _check_module(
+        self,
+        project: Project,
+        module: ModuleSymbols,
+        taint: dict[str, list[str]],
+    ) -> Iterator[Finding]:
+        functions = list(module.functions.values())
+        for cls in module.classes.values():
+            functions.extend(cls.methods.values())
+        for fn in functions:
+            owner = (
+                module.classes.get(fn.class_name) if fn.class_name else None
+            )
+            local_types = _local_types(fn, owner)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = dotted_name(node.func).rsplit(".", 1)[-1]
+                if callee not in config.IPC_SEND_METHODS:
+                    continue
+                arguments = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+                for argument in arguments:
+                    yield from self._check_value(
+                        module, node, callee, argument, owner, local_types, taint
+                    )
+
+    def _check_value(
+        self,
+        module: ModuleSymbols,
+        send: ast.Call,
+        callee: str,
+        value: ast.expr,
+        owner: ClassSymbol | None,
+        local_types: dict[str, str],
+        taint: dict[str, list[str]],
+    ) -> Iterator[Finding]:
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for element in value.elts:
+                yield from self._check_value(
+                    module, send, callee, element, owner, local_types, taint
+                )
+            return
+        if isinstance(value, ast.Dict):
+            for element in value.values:
+                yield from self._check_value(
+                    module, send, callee, element, owner, local_types, taint
+                )
+            return
+        type_name: str | None = None
+        detail = ""
+        if isinstance(value, ast.Call):
+            leaf = dotted_name(value.func).rsplit(".", 1)[-1]
+            if leaf in UNPICKLABLE_FACTORIES:
+                yield _finding(
+                    module.path,
+                    value.lineno,
+                    self.code,
+                    f"{leaf}() constructed directly inside a {callee!r} "
+                    "payload can never pickle across the IPC boundary",
+                )
+                return
+            if leaf and leaf[:1].isupper():
+                type_name = leaf
+        elif isinstance(value, ast.Name):
+            type_name = local_types.get(value.id)
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and owner is not None
+        ):
+            if value.attr in owner.unpicklable_attrs:
+                factory = owner.unpicklable_attrs[value.attr]
+                yield _finding(
+                    module.path,
+                    value.lineno,
+                    self.code,
+                    f"'self.{value.attr}' ({factory}()) in a {callee!r} "
+                    "payload: locks/threads cannot cross the IPC boundary",
+                )
+                return
+            type_name = owner.attr_types.get(value.attr)
+            detail = f"self.{value.attr}: "
+        if type_name is None or type_name in config.PROCESS_SAFE_TYPES:
+            return
+        chain = taint.get(type_name)
+        if chain:
+            witness = " -> ".join(chain)
+            yield _finding(
+                module.path,
+                value.lineno,
+                self.code,
+                f"{callee!r} payload value {detail}{type_name} transitively "
+                f"reaches an unpicklable type ({witness}); it will fail on "
+                "the first spawn-mode restart — shed the offender in "
+                "__getstate__ or send plain data",
+            )
+
+
+# ----------------------------------------------------------------------
+# KSP010 — engine protocol conformance and the batch registry
+# ----------------------------------------------------------------------
+class ProtocolConformanceRule(Rule):
+    """Every engine claiming ``repro.api`` answers it with the same shape.
+
+    Three checks against :data:`~repro.analysis.config.ENGINE_REGISTRY`:
+    a registered class must exist and implement each claimed method with
+    the canonical parameter names (extras need defaults); an
+    engine-shaped class (``execute`` + ``execute_many``) in the engine
+    tier must be registered so conformance and batch-equivalence
+    coverage follow it; and every public ``*_many``/``*_batch``
+    definition in the protocol tier must appear in
+    :data:`~repro.analysis.config.BATCH_REGISTRY` naming the sequential
+    reference its equivalence tests run against.
+    """
+
+    code = "KSP010"
+    title = "engine protocol conformance / unregistered batch override"
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, Project)
+        symbols = project.symbols
+        yield from self._check_registered(symbols)
+        yield from self._check_unregistered_engines(symbols)
+        yield from self._check_batch_registry(symbols)
+
+    def _check_registered(self, symbols: object) -> Iterator[Finding]:
+        for key, classes in config.ENGINE_REGISTRY.items():
+            module = getattr(symbols, "modules").get(key)
+            if module is None:
+                continue  # partial project (fixtures)
+            for class_name, claimed in classes.items():
+                cls = module.classes.get(class_name)
+                if cls is None:
+                    yield _finding(
+                        module.path,
+                        1,
+                        self.code,
+                        f"stale ENGINE_REGISTRY entry: {key} no longer "
+                        f"defines class {class_name!r}",
+                    )
+                    continue
+                for method_name in claimed:
+                    yield from self._check_method(module, cls, method_name)
+
+    def _check_method(
+        self, module: ModuleSymbols, cls: ClassSymbol, method_name: str
+    ) -> Iterator[Finding]:
+        method = cls.methods.get(method_name)
+        if method is None:
+            yield _finding(
+                module.path,
+                cls.lineno,
+                self.code,
+                f"{cls.name} claims the repro.api protocol but does not "
+                f"implement {method_name!r}",
+            )
+            return
+        canonical = config.ENGINE_PROTOCOL_PARAMS.get(method_name)
+        if canonical is None:
+            return
+        actual = method.params[1:]  # drop self
+        head = actual[:len(canonical)]
+        if head != canonical:
+            yield _finding(
+                module.path,
+                method.lineno,
+                self.code,
+                f"{cls.name}.{method_name} signature {head!r} differs from "
+                f"the protocol's {canonical!r}: keyword callers dispatching "
+                "through the protocol will break",
+            )
+            return
+        extras = actual[len(canonical):]
+        if len(extras) > method.defaults:
+            yield _finding(
+                module.path,
+                method.lineno,
+                self.code,
+                f"{cls.name}.{method_name} adds required parameter(s) "
+                f"{extras!r} beyond the protocol: protocol callers cannot "
+                "supply them — give them defaults",
+            )
+
+    def _check_unregistered_engines(self, symbols: object) -> Iterator[Finding]:
+        for key, module in getattr(symbols, "modules").items():
+            if not key.startswith(config.ENGINE_SCAN_PREFIXES):
+                continue
+            registered = config.ENGINE_REGISTRY.get(key, {})
+            for cls in module.classes.values():
+                if cls.name in registered:
+                    continue
+                if "execute" in cls.methods and "execute_many" in cls.methods:
+                    yield _finding(
+                        module.path,
+                        cls.lineno,
+                        self.code,
+                        f"engine-shaped class {cls.name!r} (defines execute "
+                        "+ execute_many) is not in ENGINE_REGISTRY: register "
+                        "it so conformance and batch-equivalence coverage "
+                        "follow it",
+                    )
+
+    def _check_batch_registry(self, symbols: object) -> Iterator[Finding]:
+        present: set[str] = set()
+        for fn in getattr(symbols, "iter_functions")():
+            if not fn.key.startswith(config.BATCH_SCAN_PREFIXES):
+                continue
+            if not fn.name.endswith(config.BATCH_SUFFIXES):
+                continue
+            if fn.name.startswith("_"):
+                continue
+            present.add(fn.qualname)
+            if fn.qualname not in config.BATCH_REGISTRY:
+                yield _finding(
+                    symbols.modules[fn.key].path,  # type: ignore[attr-defined]
+                    fn.lineno,
+                    self.code,
+                    f"batch override {fn.qualname!r} is not registered in "
+                    "BATCH_REGISTRY against its sequential reference: "
+                    "nothing guarantees it computes what the per-item path "
+                    "computes",
+                )
+        modules = getattr(symbols, "modules")
+        for qualname in config.BATCH_REGISTRY:
+            key = qualname.split("::", 1)[0]
+            if key in modules and qualname not in present:
+                yield _finding(
+                    modules[key].path,
+                    1,
+                    self.code,
+                    f"stale BATCH_REGISTRY entry {qualname!r}: no such "
+                    "public batch definition exists",
+                )
+
+
+# ----------------------------------------------------------------------
+# KSP011 — observability coverage of externally-driven surfaces
+# ----------------------------------------------------------------------
+class ObservabilityCoverageRule(Rule):
+    """Every route, pipe kind, and CLI verb is observably instrumented.
+
+    Surfaces are discovered statically (``endpoint``/``kind`` string
+    comparisons in the router and worker loop, ``add_parser`` verbs) and
+    checked against :data:`~repro.analysis.config.OBSERVED_SURFACES`;
+    span/event emit sites are collected project-wide and checked against
+    :data:`~repro.analysis.config.INSTRUMENTATION_NAMES`.  Drift in
+    either direction is a finding: an unregistered surface or emit name,
+    a stale registry entry, or a surface whose declared names nothing
+    emits.  The whole-registry checks only run when all three surface
+    source modules are in the project (a full-tree lint).
+    """
+
+    code = "KSP011"
+    title = "observability coverage drift"
+
+    _SPAN_LEAVES = frozenset({"trace", "trace_span", "span"})
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        assert isinstance(project, Project)
+        symbols = project.symbols
+        names, prefixes, sites = self._collect_emits(symbols)
+        yield from self._check_emit_sites(sites)
+        surfaces = self._discover_surfaces(symbols)
+        for surface, (path, line) in sorted(surfaces.items()):
+            if surface not in config.OBSERVED_SURFACES:
+                yield _finding(
+                    path,
+                    line,
+                    self.code,
+                    f"surface {surface!r} is not in OBSERVED_SURFACES: "
+                    "declare the span/event that makes it observable (or "
+                    "an explicit empty exemption)",
+                )
+        full_tree = all(
+            key in symbols.modules for key in config.SURFACE_SOURCES.values()
+        )
+        if not full_tree:
+            return
+        yield from self._check_registry(symbols, surfaces, names, prefixes)
+
+    # -- emit-site collection -------------------------------------------
+    def _collect_emits(
+        self, symbols: object
+    ) -> tuple[set[str], set[str], list[tuple[str, int, str, str]]]:
+        names: set[str] = set()
+        prefixes: set[str] = set()
+        #: (path, line, kind, value) where kind is "name" or "prefix"
+        sites: list[tuple[str, int, str, str]] = []
+        for module in getattr(symbols, "modules").values():
+            for node in ast.walk(module.ctx.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                dotted = dotted_name(node.func)
+                leaf = dotted.rsplit(".", 1)[-1]
+                is_event = leaf == "emit" and "EVENTS" in dotted
+                is_span = leaf in self._SPAN_LEAVES
+                if not (is_event or is_span):
+                    continue
+                for kind, value in self._literal_names(node.args[0]):
+                    sites.append((module.ctx.path, node.lineno, kind, value))
+                    if kind == "name":
+                        names.add(value)
+                    else:
+                        prefixes.add(value)
+        return names, prefixes, sites
+
+    @staticmethod
+    def _literal_names(arg: ast.expr) -> list[tuple[str, str]]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return [("name", arg.value)]
+        if (
+            isinstance(arg, ast.BinOp)
+            and isinstance(arg.op, ast.Add)
+            and isinstance(arg.left, ast.Constant)
+            and isinstance(arg.left.value, str)
+        ):
+            return [("prefix", arg.left.value)]
+        if (
+            isinstance(arg, ast.JoinedStr)
+            and arg.values
+            and isinstance(arg.values[0], ast.Constant)
+            and isinstance(arg.values[0].value, str)
+        ):
+            return [("prefix", arg.values[0].value)]
+        if isinstance(arg, ast.IfExp):
+            results = []
+            for branch in (arg.body, arg.orelse):
+                if isinstance(branch, ast.Constant) and isinstance(
+                    branch.value, str
+                ):
+                    results.append(("name", branch.value))
+            return results
+        return []
+
+    def _check_emit_sites(
+        self, sites: list[tuple[str, int, str, str]]
+    ) -> Iterator[Finding]:
+        for path, line, kind, value in sites:
+            if kind == "name":
+                known = value in config.INSTRUMENTATION_NAMES or value.startswith(
+                    config.INSTRUMENTATION_PREFIXES
+                )
+            else:
+                known = value in config.INSTRUMENTATION_PREFIXES
+            if not known:
+                yield _finding(
+                    path,
+                    line,
+                    self.code,
+                    f"emitted instrumentation {kind} {value!r} is not in the "
+                    "checked-in registry (INSTRUMENTATION_NAMES/_PREFIXES): "
+                    "dashboards and alerts cannot know about it",
+                )
+
+    # -- surface discovery ----------------------------------------------
+    def _discover_surfaces(
+        self, symbols: object
+    ) -> dict[str, tuple[str, int]]:
+        surfaces: dict[str, tuple[str, int]] = {}
+        modules = getattr(symbols, "modules")
+        for surface_kind, key in config.SURFACE_SOURCES.items():
+            module = modules.get(key)
+            if module is None:
+                continue
+            tree = module.ctx.tree
+            if surface_kind == "cli":
+                found = self._cli_verbs(tree)
+            elif surface_kind == "ipc":
+                found = self._compared_strings(tree, "kind")
+            else:
+                found = self._http_endpoints(tree)
+            for value, line in found:
+                surfaces.setdefault(
+                    f"{surface_kind}:{value}", (module.ctx.path, line)
+                )
+        return surfaces
+
+    @staticmethod
+    def _cli_verbs(tree: ast.Module) -> list[tuple[str, int]]:
+        verbs = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                verbs.append((node.args[0].value, node.lineno))
+        return verbs
+
+    @staticmethod
+    def _compared_strings(
+        tree: ast.Module, variable: str
+    ) -> list[tuple[str, int]]:
+        values = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not (
+                isinstance(node.left, ast.Name) and node.left.id == variable
+            ):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.In)) for op in node.ops):
+                continue
+            for comparator in node.comparators:
+                if isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, str
+                ):
+                    values.append((comparator.value, node.lineno))
+                elif isinstance(comparator, ast.Tuple):
+                    for element in comparator.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            values.append((element.value, node.lineno))
+        return values
+
+    def _http_endpoints(self, tree: ast.Module) -> list[tuple[str, int]]:
+        endpoints = self._compared_strings(tree, "endpoint")
+        # Membership tests against module-level tuple constants
+        # (``endpoint in _RATE_LIMITED``) contribute their elements.
+        constants: dict[str, list[tuple[str, int]]] = {}
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                elements = [
+                    (element.value, element.lineno)
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+                constants[node.targets[0].id] = elements
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not (
+                isinstance(node.left, ast.Name) and node.left.id == "endpoint"
+            ):
+                continue
+            if not any(isinstance(op, ast.In) for op in node.ops):
+                continue
+            for comparator in node.comparators:
+                if isinstance(comparator, ast.Name):
+                    endpoints.extend(constants.get(comparator.id, []))
+        return endpoints
+
+    # -- full-tree registry checks --------------------------------------
+    def _check_registry(
+        self,
+        symbols: object,
+        surfaces: dict[str, tuple[str, int]],
+        names: set[str],
+        prefixes: set[str],
+    ) -> Iterator[Finding]:
+        modules = getattr(symbols, "modules")
+
+        def emitted(name: str) -> bool:
+            return name in names or any(
+                name.startswith(prefix) for prefix in prefixes
+            )
+
+        for surface, required in sorted(config.OBSERVED_SURFACES.items()):
+            surface_kind = surface.split(":", 1)[0]
+            source = modules.get(config.SURFACE_SOURCES[surface_kind])
+            location = surfaces.get(surface)
+            if location is None:
+                yield _finding(
+                    source.path,
+                    1,
+                    self.code,
+                    f"stale OBSERVED_SURFACES entry {surface!r}: the surface "
+                    "no longer exists in the code",
+                )
+                continue
+            for name in required:
+                if not emitted(name):
+                    yield _finding(
+                        location[0],
+                        location[1],
+                        self.code,
+                        f"surface {surface!r} declares instrumentation "
+                        f"{name!r} but nothing in the tree emits it: the "
+                        "surface is effectively unobservable",
+                    )
+        anchor = next(
+            modules[key]
+            for key in config.SURFACE_SOURCES.values()
+            if key in modules
+        )
+        for name in sorted(config.INSTRUMENTATION_NAMES):
+            if not emitted(name):
+                yield _finding(
+                    anchor.path,
+                    1,
+                    self.code,
+                    f"stale INSTRUMENTATION_NAMES entry {name!r}: nothing "
+                    "emits it anymore",
+                )
+
+
+#: The interprocedural half of the catalogue, in order.
+PROJECT_RULES: tuple[Rule, ...] = (
+    LockOrderCycleRule(),
+    IpcPayloadReachabilityRule(),
+    ProtocolConformanceRule(),
+    ObservabilityCoverageRule(),
+)

@@ -176,7 +176,15 @@ def _finding(
 # Rule protocol
 # ----------------------------------------------------------------------
 class Rule:
-    """Base class: one code, one invariant, one ``check`` pass."""
+    """Base class: one code, one invariant, one check pass.
+
+    A rule participates at one (or both) of two granularities:
+    ``check`` sees a single parsed module and runs once per file;
+    ``project_check`` sees the whole-program :class:`~repro.analysis.
+    callgraph.Project` (symbol table + call graph) and runs once per
+    lint invocation — the interprocedural rules KSP008–KSP011 live
+    there.  Either hook may be left as the empty default.
+    """
 
     code: str = "KSP000"
     title: str = ""
@@ -184,8 +192,11 @@ class Rule:
     def applies(self, ctx: ModuleContext) -> bool:
         return True
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
-        raise NotImplementedError
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def project_check(self, project: object) -> Iterator[Finding]:
+        return iter(())
 
 
 # ----------------------------------------------------------------------
@@ -658,8 +669,10 @@ class BatchShimLoopRule(Rule):
                         yield from ast.walk(condition)
 
 
-#: The registry, in catalogue order.
-ALL_RULES: tuple[Rule, ...] = (
+#: The per-module half of the catalogue, in order.  The interprocedural
+#: rules (KSP008–KSP011) live in :mod:`repro.analysis.project_rules`;
+#: the combined registry is :data:`repro.analysis.linter.ALL_RULES`.
+MODULE_RULES: tuple[Rule, ...] = (
     FrozenMutationRule(),
     UnlockedSharedWriteRule(),
     BlockingUnderLockRule(),
@@ -668,5 +681,3 @@ ALL_RULES: tuple[Rule, ...] = (
     ClosureOverIpcRule(),
     BatchShimLoopRule(),
 )
-
-RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_ is the
+interchange format code-scanning UIs ingest (GitHub's security tab,
+VS Code's SARIF viewer): emitting it makes ``repro lint`` findings show
+up as annotations on the PR diff instead of a wall of text in a CI log.
+Only the mandatory skeleton is produced — one ``run`` with the tool's
+rule metadata and one ``result`` per finding, each carrying a physical
+location with the repo-relative path — which is exactly the subset
+every consumer supports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = "warning"
+
+
+def _relative(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[object],
+    root: Path | None = None,
+) -> dict[str, object]:
+    """The SARIF log object for ``findings`` (JSON-ready dict)."""
+    base = root or Path.cwd()
+    rule_objects = [
+        {
+            "id": getattr(rule, "code", "KSP000"),
+            "name": type(rule).__name__,
+            "shortDescription": {"text": getattr(rule, "title", "")},
+            "defaultConfiguration": {"level": _LEVEL},
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": _LEVEL,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative(finding.path, base),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[object],
+    root: Path | None = None,
+) -> str:
+    return json.dumps(to_sarif(findings, rules, root=root), indent=2)

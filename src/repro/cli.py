@@ -596,10 +596,19 @@ def _default_lint_paths() -> list[str]:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Run the stdlib project-invariant linter (KSP001...)."""
+    """Run the whole-program linter (KSP001–KSP011)."""
     import json
+    from pathlib import Path
 
-    from repro.analysis import ALL_RULES, lint_paths, select_rules
+    from repro.analysis import (
+        ALL_RULES,
+        changed_files,
+        lint_paths,
+        ratchet,
+        render_sarif,
+        select_rules,
+        write_baseline,
+    )
 
     if args.list_rules:
         for rule in ALL_RULES:
@@ -610,18 +619,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    changed: set | None = None
+    if args.changed is not None:
+        try:
+            changed = changed_files(args.changed or "HEAD")
+        except RuntimeError as error:
+            print(f"warning: {error}; reporting all findings",
+                  file=sys.stderr)
     paths = args.paths or _default_lint_paths()
-    findings = lint_paths(paths, rules=rules)
-    if args.format == "json":
+    findings = lint_paths(paths, rules=rules, changed_only=changed)
+    if args.format == "sarif":
+        print(render_sarif(findings, rules, root=Path.cwd()))
+    elif args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
     else:
         for finding in findings:
             print(finding.render())
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        payload = write_baseline(baseline_path, findings, root=Path.cwd())
+        print(
+            f"repro lint: wrote {baseline_path} "
+            f"(counts: {payload['counts']})",
+            file=sys.stderr,
+        )
+        return 0
+    if args.ratchet:
+        result = ratchet(findings, baseline_path, root=Path.cwd())
+        print(result.summary(), file=sys.stderr)
+        return 0 if result.ok else 1
     if findings:
-        if args.format != "json":
+        if args.format == "text":
             print(f"repro lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    if args.format != "json":
+    if args.format == "text":
         print("repro lint: clean")
     return 0
 
@@ -862,10 +893,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories (default: src/repro)")
     lint.add_argument("--select", nargs="+", metavar="CODE",
                       help="run only these rule codes (e.g. KSP002 KSP003)")
-    lint.add_argument("--format", default="text", choices=["text", "json"],
-                      help="report format")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="report format (sarif: SARIF 2.1.0 for code "
+                           "scanners)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--ratchet", action="store_true",
+                      help="gate against the checked-in baseline: fail only "
+                           "if any rule's finding count rises; auto-shrink "
+                           "the baseline when counts fall")
+    lint.add_argument("--baseline", default="analysis-baseline.json",
+                      metavar="PATH",
+                      help="baseline file for --ratchet/--write-baseline "
+                           "(default: analysis-baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="(re)create the baseline file from the current "
+                           "findings and exit 0")
+    lint.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                      metavar="REF",
+                      help="analyse the whole program but report only "
+                           "findings in files changed vs REF (default HEAD) "
+                           "plus untracked files")
 
     typecheck = commands.add_parser(
         "typecheck",

@@ -36,6 +36,8 @@ import time
 from types import FrameType
 from typing import Iterable, Mapping
 
+from repro.obs.events import EVENTS
+
 #: Default sampling frequency; ~1–2% overhead on one core in practice.
 DEFAULT_HZ = 67.0
 
@@ -130,7 +132,8 @@ class SamplingProfiler:
                 target=self._loop, name="repro-profiler", daemon=True
             )
             self._thread.start()
-            return True
+        EVENTS.emit("profiler.start", hz=self.hz, source=self.source)
+        return True
 
     def stop(self) -> bool:
         """Stop sampling (accumulated stacks are kept); False if idle."""
@@ -145,6 +148,7 @@ class SamplingProfiler:
             if self.started_at is not None:
                 self.active_seconds += time.time() - self.started_at
             self.started_at = None
+        EVENTS.emit("profiler.stop", samples=self.samples, source=self.source)
         return True
 
     def reset(self) -> None:

@@ -49,6 +49,7 @@ from repro.api import (
 )
 from repro.core.framework import KSpin
 from repro.core.query_processor import QueryProcessor, QueryStats
+from repro.obs.events import EVENTS
 from repro.obs.trace import annotate as trace_annotate
 from repro.obs.trace import span as trace_span
 from repro.serve.cache import HotKeywordAdmission, ResultCache, result_key
@@ -377,9 +378,12 @@ class Engine:
         elif op.op == "remove_keyword":
             evicted = self.remove_keyword(op.object, op.keyword)
         elif op.op == "rebuild":
-            return {"applied": "rebuild", "rebuilt": self.rebuild_pending()}
+            rebuilt = self.rebuild_pending()
+            EVENTS.emit("update.applied", op="rebuild", rebuilt=len(rebuilt))
+            return {"applied": "rebuild", "rebuilt": rebuilt}
         else:  # pragma: no cover - UpdateOp validates op on construction
             raise ValueError(f"unknown update op {op.op!r}")
+        EVENTS.emit("update.applied", op=op.op, cache_evicted=evicted)
         return {"applied": op.op, "cache_evicted": evicted}
 
     def on_rebuilt(self, keyword: str) -> None:

@@ -540,7 +540,8 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError) as error:
             raise BadRequest(f"bad update request: {error}") from None
         try:
-            return self.server.backend.apply(op)
+            with TRACER.trace("http.update", op=op.op):
+                return self.server.backend.apply(op)
         except (KeyError, TypeError, ValueError) as error:
             raise BadRequest(f"bad update request: {error}") from None
 

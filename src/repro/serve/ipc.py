@@ -308,6 +308,10 @@ def worker_main(
                     "folded": PROFILER.folded(),
                 })
             elif kind == "stop":
+                # The shutdown counterpart of worker.start: a merged
+                # event stream distinguishes an orderly stop from a
+                # death the supervisor had to clean up after.
+                EVENTS.emit("worker.stop", worker=name)
                 conn.send(("ok", "bye"))
                 break
             else:

@@ -1,0 +1,37 @@
+# ksp: scope=zfixture/locks.py
+"""Clean twin of the KSP008 fixture: a consistent lock order.
+
+Both paths acquire ``Accounts._lock`` before ``Ledger._lock`` — the
+may-acquire graph has one direction only, so no cycle.
+"""
+
+from threading import Lock
+
+
+class Accounts:
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self.ledger = Ledger(self)
+
+    def transfer(self) -> None:
+        with self._lock:
+            self.ledger.post()
+
+    def audit(self) -> None:
+        with self._lock:
+            pass
+
+
+class Ledger:
+    def __init__(self, accounts: "Accounts") -> None:
+        self._lock = Lock()
+        self.accounts = accounts
+
+    def post(self) -> None:
+        with self._lock:
+            pass
+
+    def reconcile(self) -> None:
+        # Delegates to the owner, which takes Accounts._lock first and
+        # only then this ledger's lock — same order as ``transfer``.
+        self.accounts.transfer()

@@ -1,0 +1,37 @@
+# ksp: scope=zfixture/locks.py
+"""Seeded KSP008 violation: two locks acquired in opposite orders.
+
+``Accounts.transfer`` takes ``Accounts._lock`` then (through the call
+graph) ``Ledger._lock``; ``Ledger.reconcile`` takes them the other way
+round.  Two threads interleaving these paths deadlock.
+"""
+
+from threading import Lock
+
+
+class Accounts:
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self.ledger = Ledger(self)
+
+    def transfer(self) -> None:
+        with self._lock:
+            self.ledger.post()
+
+    def audit(self) -> None:
+        with self._lock:
+            pass
+
+
+class Ledger:
+    def __init__(self, accounts: "Accounts") -> None:
+        self._lock = Lock()
+        self.accounts = accounts
+
+    def post(self) -> None:
+        with self._lock:
+            pass
+
+    def reconcile(self) -> None:
+        with self._lock:
+            self.accounts.audit()

@@ -1,0 +1,32 @@
+# ksp: scope=serve/zfixture_payload.py
+"""Clean twin of the KSP009 fixture: ``__getstate__`` sheds the lock.
+
+The lock is still there at runtime, but the custom pickle hook removes
+it from the serialised state, so the payload survives a spawn-mode
+restart — the taint chain is cut at ``Job``.
+"""
+
+import threading
+
+
+class Job:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.payload: list = []
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class Courier:
+    def __init__(self, conn) -> None:
+        self.conn = conn
+
+    def dispatch(self, job: Job) -> None:
+        self.conn.send(("job", job))

@@ -1,0 +1,23 @@
+# ksp: scope=serve/zfixture_payload.py
+"""Seeded KSP009 violation: an IPC payload transitively holds a lock.
+
+``Job`` looks like plain data, but it owns a ``threading.Lock`` and
+defines no ``__getstate__`` to shed it — the send works under fork-mode
+copy-on-write and explodes on the first spawn-mode restart.
+"""
+
+import threading
+
+
+class Job:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.payload: list = []
+
+
+class Courier:
+    def __init__(self, conn) -> None:
+        self.conn = conn
+
+    def dispatch(self, job: Job) -> None:
+        self.conn.send(("job", job))

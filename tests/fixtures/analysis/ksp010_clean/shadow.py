@@ -1,0 +1,18 @@
+# ksp: scope=baselines/zfixture_shadow.py
+"""Clean twin of the KSP010 fixture: not engine-shaped, no batch defs.
+
+A per-item helper in the baselines tier carries no protocol claim and
+defines no public ``*_many``/``*_batch`` entry point, so there is
+nothing for the registries to track.
+"""
+
+
+class ShadowProbe:
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    def _answer(self, query):
+        return (query, self.graph)
+
+    def execute(self, query):
+        return self._answer(query)

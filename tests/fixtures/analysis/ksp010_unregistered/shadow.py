@@ -1,0 +1,21 @@
+# ksp: scope=baselines/zfixture_shadow.py
+"""Seeded KSP010 violations: an engine nobody registered.
+
+``ShadowBaseline`` is engine-shaped (``execute`` + ``execute_many``)
+but appears in neither ENGINE_REGISTRY nor BATCH_REGISTRY, so neither
+conformance checks nor batch-equivalence tests follow it.
+"""
+
+
+class ShadowBaseline:
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    def _answer(self, query):
+        return (query, self.graph)
+
+    def execute(self, query):
+        return self._answer(query)
+
+    def execute_many(self, queries):
+        return [self._answer(query) for query in queries]

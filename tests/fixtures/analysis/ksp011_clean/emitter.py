@@ -1,0 +1,12 @@
+# ksp: scope=zfixture/emitter.py
+"""Clean twin of the KSP011 fixture: a registered event name.
+
+``cache.evict`` is in INSTRUMENTATION_NAMES, so the emit site is
+covered by the checked-in observability registry.
+"""
+
+from repro.obs.events import EVENTS
+
+
+def record_eviction(key: str) -> None:
+    EVENTS.emit("cache.evict", key=key)

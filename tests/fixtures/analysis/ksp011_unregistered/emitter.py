@@ -1,0 +1,12 @@
+# ksp: scope=zfixture/emitter.py
+"""Seeded KSP011 violation: an event name the registry never heard of.
+
+Dashboards and alerts are built from INSTRUMENTATION_NAMES; an emit
+site using an unregistered name is invisible to all of them.
+"""
+
+from repro.obs.events import EVENTS
+
+
+def record_mystery(value: int) -> None:
+    EVENTS.emit("zfixture.mystery", value=value)

@@ -1,18 +1,18 @@
-# ksp: scope=serve/cluster.py
+# ksp: scope=serve/metrics.py
 """Seeded KSP002 violation: shared-state write outside its lock."""
 
 import threading
 
 
-class ClusterCoordinator:
+class ServerMetrics:
     def __init__(self) -> None:
-        self._update_lock = threading.RLock()
-        self.fallback_queries = 0
-        self.updates_applied = 0
+        self._lock = threading.Lock()
+        self.queries_served = 0
+        self.shed = 0
 
-    def record_fallback(self) -> None:
-        self.fallback_queries += 1  # violation: no lock held
+    def record_query(self) -> None:
+        self.queries_served += 1  # violation: no lock held
 
-    def record_update(self) -> None:
-        with self._update_lock:
-            self.updates_applied += 1  # fine: under the declared lock
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1  # fine: under the declared lock
