@@ -222,11 +222,26 @@ def run_benchmark(smoke: bool = False) -> dict:
 
 
 def _write_trajectory(payload: dict) -> None:
-    """Mirror the reading to the repo-root ``BENCH_kernels.json``."""
+    """Mirror the reading to the repo-root ``BENCH_kernels.json``.
+
+    The file is shared: ``bench_labels.py`` folds its numbers in under
+    a ``"labels"`` key, so sections this payload does not produce are
+    preserved rather than clobbered.
+    """
     import json
 
-    with open(os.path.abspath(ROOT_TRAJECTORY), "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    path = os.path.abspath(ROOT_TRAJECTORY)
+    merged = dict(payload)
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = {}
+    for key, value in existing.items():
+        if key not in merged:
+            merged[key] = value
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
 
 
 def test_kernels_smoke():

@@ -304,6 +304,18 @@ BATCH_REGISTRY: dict[str, str] = {
     "distance/dijkstra_oracle.py::BidirectionalDijkstraOracle.distances_many": (
         "DistanceOracle.distances_many"
     ),
+    "distance/hub_labeling.py::HubLabeling.distances_many": (
+        "DistanceOracle.distances_many"
+    ),
+    "distance/hub_labeling.py::HubLabeling.knn_many": (
+        "DistanceOracle.knn_many"
+    ),
+    "distance/composite.py::CompositeOracle.distances_many": (
+        "DistanceOracle.distances_many"
+    ),
+    "distance/composite.py::CompositeOracle.knn_many": (
+        "DistanceOracle.knn_many"
+    ),
     "lowerbound/base.py::LowerBounder.lower_bounds_to_many": (
         "LowerBounder.lower_bound (definitional sequential loop)"
     ),
@@ -311,6 +323,9 @@ BATCH_REGISTRY: dict[str, str] = {
         "LowerBounder.lower_bounds_to_many"
     ),
     "lowerbound/alt.py::AltLowerBounder.lower_bounds_many": (
+        "LowerBounder.lower_bounds_to_many"
+    ),
+    "lowerbound/hub_label.py::HubLabelLowerBounder.lower_bounds_to_many": (
         "LowerBounder.lower_bounds_to_many"
     ),
 }

@@ -50,7 +50,7 @@ class FsFbs:
     graph, dataset:
         Road network and keyword dataset.
     labeling:
-        A pre-built :class:`HubLabeling`; built (degree order) if omitted.
+        A pre-built :class:`HubLabeling`; built (CH-rank order) if omitted.
     frequency_threshold:
         Keywords with ``|inv(t)|`` above this are "frequent" and use the
         bit-array path; the paper notes the best value must be found
@@ -92,8 +92,10 @@ class FsFbs:
             self._object_masks[o] = mask
 
     def _build_backward_labels(self) -> None:
+        # Hubs are label ordinals (consistent with the forward side).
         for o in self._dataset.objects():
-            for hub, distance in self._labels._labels[o].items():
+            hub_ids, hub_dists = self._labels.label(o)
+            for hub, distance in zip(hub_ids.tolist(), hub_dists.tolist()):
                 self._backward.setdefault(hub, []).append((distance, o))
         for entries in self._backward.values():
             entries.sort()
@@ -215,7 +217,8 @@ class FsFbs:
         Yields objects in exact ascending distance order; each candidate
         passes the bit-array filter before the true document check."""
         query_mask = self._keyword_mask(frequent)
-        query_label = self._labels._labels[query]
+        hub_ids, hub_dists = self._labels.label(query)
+        query_label = dict(zip(hub_ids.tolist(), hub_dists.tolist()))
         merge: list[tuple[float, int, int]] = []  # (bound, hub, position)
         for hub, to_hub in query_label.items():
             entries = self._backward.get(hub)

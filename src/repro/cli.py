@@ -74,6 +74,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _build_oracle(name: str, graph):
     from repro.distance import (
         BidirectionalDijkstraOracle,
+        CompositeOracle,
         ContractionHierarchy,
         DijkstraOracle,
         GTree,
@@ -87,9 +88,9 @@ def _build_oracle(name: str, graph):
     if name == "ch":
         return ContractionHierarchy(graph)
     if name == "phl":
-        ch = ContractionHierarchy(graph)
-        order = sorted(graph.vertices(), key=lambda v: -ch.rank[v])
-        return HubLabeling(graph, order=order)
+        return HubLabeling(graph, order="ch")
+    if name == "auto":
+        return CompositeOracle(graph)
     if name == "gtree":
         return GTree(graph)
     raise ValueError(f"unknown oracle {name!r}")
@@ -199,21 +200,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         print(f"Loading index from {args.index} ...")
         kspin = load_kspin(args.index)
+        if args.seeding != "nvd":
+            try:
+                kspin.set_seeding(args.seeding)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     else:
         from repro.core import KSpin
         from repro.datasets import load_dataset
         from repro.lowerbound import AltLowerBounder
 
-        print(f"Building {args.dataset} with the {args.oracle} oracle ...")
+        print(f"Building {args.dataset} with the {args.oracle} oracle "
+              f"({args.seeding} seeding) ...")
         dataset = load_dataset(args.dataset)
-        kspin = KSpin(
-            dataset.graph,
-            dataset.keywords,
-            oracle=_build_oracle(args.oracle, dataset.graph),
-            lower_bounder=AltLowerBounder(
-                dataset.graph, num_landmarks=args.landmarks
-            ),
-        )
+        try:
+            kspin = KSpin(
+                dataset.graph,
+                dataset.keywords,
+                oracle=_build_oracle(args.oracle, dataset.graph),
+                lower_bounder=AltLowerBounder(
+                    dataset.graph, num_landmarks=args.landmarks
+                ),
+                seeding=args.seeding,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     cluster = None
     sketch_routing = not args.no_sketch_routing
     if args.cluster > 0:
@@ -741,7 +754,8 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--documents",
                        help="file holding a dict literal: vertex -> keywords")
     build.add_argument("--oracle", default="ch",
-                       choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"])
+                       choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree",
+                                "auto"])
     build.add_argument("--rho", type=int, default=5)
     build.add_argument("--landmarks", type=int, default=16)
     build.add_argument("--workers", type=int, default=1,
@@ -767,8 +781,15 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--dataset", default="ME-S",
                         help="ladder dataset to build on boot (default ME-S)")
     serve.add_argument("--oracle", default="ch",
-                       choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"],
-                       help="distance oracle when building from --dataset")
+                       choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree",
+                                "auto"],
+                       help="distance oracle when building from --dataset "
+                            "(auto = SALT-style composite: CH + hub labels + "
+                            "CSR batches, routed per query)")
+    serve.add_argument("--seeding", default="nvd", choices=["nvd", "labels"],
+                       help="heap seeding backend (labels needs a hub-label "
+                            "oracle: --oracle phl/auto, or an index built "
+                            "with one)")
     serve.add_argument("--landmarks", type=int, default=16)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
@@ -839,7 +860,8 @@ def build_parser() -> argparse.ArgumentParser:
     explain_source.add_argument("--dataset", default="ME-S",
                                 help="ladder dataset to build (default ME-S)")
     explain.add_argument("--oracle", default="ch",
-                         choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"],
+                         choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree",
+                                  "auto"],
                          help="distance oracle when building from --dataset")
     explain.add_argument("--landmarks", type=int, default=16)
     explain.add_argument("--vertex", type=int, required=True)
@@ -863,7 +885,8 @@ def build_parser() -> argparse.ArgumentParser:
     sketch_source.add_argument("--dataset", default="ME-S",
                                help="ladder dataset to build (default ME-S)")
     sketch.add_argument("--oracle", default="ch",
-                        choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree"],
+                        choices=["dijkstra", "bidijkstra", "ch", "phl", "gtree",
+                                  "auto"],
                         help="distance oracle when building from --dataset")
     sketch.add_argument("--landmarks", type=int, default=16)
     sketch.add_argument("--shards", type=int, default=4,

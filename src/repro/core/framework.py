@@ -67,6 +67,14 @@ class KSpin:
     rebuild_threshold:
         Lazy updates per keyword before :meth:`rebuild_pending` refreshes
         its diagram.
+    seeding:
+        Candidate-generation backend for the Heap Generator.  The
+        default ``"nvd"`` is the paper's APX-NVD lazy expansion;
+        ``"labels"`` seeds heaps by forward scans of per-keyword object
+        labels (requires a hub-labeling oracle — :class:`HubLabeling`
+        or a :class:`~repro.distance.composite.CompositeOracle` — and
+        transparently falls back to NVD expansion for keywords with
+        pending lazy updates, so results are always exact).
     """
 
     def __init__(
@@ -78,6 +86,7 @@ class KSpin:
         rho: int = 5,
         workers: int = 1,
         rebuild_threshold: int = 50,
+        seeding: str = "nvd",
     ) -> None:
         self.graph = graph
         self.dataset = dataset
@@ -96,10 +105,43 @@ class KSpin:
             workers=workers,
             rebuild_threshold=rebuild_threshold,
         )
-        self.heap_generator = HeapGenerator(self.lower_bounder)
+        self.heap_generator = self._make_heap_generator(seeding, oracle)
         self.processor = QueryProcessor(
             graph, self.index, self.relevance, oracle, self.heap_generator
         )
+
+    def _make_heap_generator(
+        self, seeding: str, oracle: DistanceOracle
+    ) -> HeapGenerator:
+        if seeding == "nvd":
+            return HeapGenerator(self.lower_bounder)
+        if seeding == "labels":
+            from repro.core.label_seeding import LabelHeapGenerator
+            from repro.distance.composite import CompositeOracle
+            from repro.distance.hub_labeling import HubLabeling
+
+            if isinstance(oracle, HubLabeling):
+                labeling = oracle
+            elif isinstance(oracle, CompositeOracle):
+                labeling = oracle.labeling
+            else:
+                raise ValueError(
+                    "seeding='labels' needs a hub-labeling oracle "
+                    "(HubLabeling or CompositeOracle), got "
+                    f"{type(oracle).__name__}"
+                )
+            return LabelHeapGenerator(self.lower_bounder, labeling)
+        raise ValueError(f"unknown seeding {seeding!r}; pick 'nvd' or 'labels'")
+
+    def set_seeding(self, seeding: str) -> None:
+        """Swap the Heap Generator backend in place.
+
+        Lets a loaded (unpickled) engine opt into label seeding without
+        rebuilding the index; raises :class:`ValueError` exactly like
+        the constructor when the oracle cannot supply labels.
+        """
+        self.heap_generator = self._make_heap_generator(seeding, self.oracle)
+        self.processor._heap_generator = self.heap_generator
 
     # ------------------------------------------------------------------
     # Queries (unified surface, repro.api)
@@ -274,8 +316,16 @@ class KSpin:
         self.index.remove_keyword(obj, keyword)
 
     def rebuild_pending(self) -> list[str]:
-        """Rebuild diagrams whose lazy-update count passed the threshold."""
-        return self.index.rebuild_pending()
+        """Rebuild diagrams whose lazy-update count passed the threshold.
+
+        Also drops any cached object labels for the rebuilt keywords so
+        label-backed seeding re-snapshots the fresh diagrams.
+        """
+        rebuilt = self.index.rebuild_pending()
+        invalidate = getattr(self.heap_generator, "invalidate", None)
+        if rebuilt and invalidate is not None:
+            invalidate(rebuilt)
+        return rebuilt
 
     # ------------------------------------------------------------------
     # Accounting

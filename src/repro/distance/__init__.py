@@ -3,18 +3,23 @@
 from repro.distance.astar import AStarOracle
 from repro.distance.base import DistanceOracle, verify_oracle
 from repro.distance.ch import ContractionHierarchy
+from repro.distance.composite import CompositeOracle
 from repro.distance.dijkstra_oracle import BidirectionalDijkstraOracle, DijkstraOracle
 from repro.distance.gtree import GTree, GTreeNode
-from repro.distance.hub_labeling import HubLabeling
+from repro.distance.hub_labeling import HubLabeling, importance_order
+from repro.distance.object_labels import KeywordLabelIndex
 
 __all__ = [
     "AStarOracle",
     "BidirectionalDijkstraOracle",
+    "CompositeOracle",
     "ContractionHierarchy",
     "DijkstraOracle",
     "DistanceOracle",
     "GTree",
     "GTreeNode",
     "HubLabeling",
+    "KeywordLabelIndex",
+    "importance_order",
     "verify_oracle",
 ]

@@ -1,0 +1,108 @@
+"""Per-keyword object labels: hub-inverted kNN structure over PLL labels.
+
+"Simpler is More" (PAPERS.md) observes that on large road networks,
+label-based kNN beats tree hierarchies outright: fold every object's
+2-hop label into an inverted per-hub structure, and candidate generation
+becomes forward scans of the *query's* label instead of any graph or
+Voronoi traversal.  This module builds that structure once per keyword
+(a TEN-index-style object label) from the array-backed
+:class:`~repro.distance.hub_labeling.HubLabeling`.
+
+For keyword ``t`` with object set ``inv(t)``, each hub ``h`` that occurs
+in any object's label gets a stream of ``(d(h, o), o)`` pairs sorted by
+distance.  A query ``q`` opens one stream per hub of its own label
+``L(q)`` and k-way-merges them by ``d(q, h) + d(h, o)``.  Because the
+labels form a 2-hop cover, the *first* time an object surfaces in the
+merged stream its key equals the exact network distance ``d(q, o)`` —
+so the merge yields objects in true nearest-first order, which is what
+:class:`repro.core.label_seeding.LabelHeap` exposes through the
+InvertedHeap interface.
+
+Freshness: the structure snapshots one
+:class:`~repro.nvd.approximate.ApproximateNVD`'s live objects; it is
+valid exactly while serving reads that *same* diagram instance with
+``pending_updates == 0``.  The heap generator checks both and falls
+back to NVD expansion otherwise — correctness never depends on the
+cache being fresh.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.distance.hub_labeling import HubLabeling
+    from repro.nvd.approximate import ApproximateNVD
+
+
+class KeywordLabelIndex:
+    """Hub-inverted object labels for one keyword.
+
+    Parameters
+    ----------
+    keyword:
+        The keyword this index serves (diagnostics only).
+    labeling:
+        The shared vertex 2-hop labeling; object labels are read from
+        it, never copied per object.
+    nvd:
+        The keyword's APX-NVD whose live objects are snapshotted.  Kept
+        (by reference) purely as the freshness token.
+    """
+
+    def __init__(
+        self, keyword: str, labeling: "HubLabeling", nvd: "ApproximateNVD"
+    ) -> None:
+        self.keyword = keyword
+        self.nvd_ref = nvd
+        objects = sorted(nvd.live_objects())
+        buckets: dict[int, list[tuple[float, int]]] = {}
+        for obj in objects:
+            hub_ids, hub_dists = labeling.label(obj)
+            for ordinal, dist in zip(hub_ids.tolist(), hub_dists.tolist()):
+                buckets.setdefault(ordinal, []).append((dist, obj))
+        # One sorted (dist, obj) stream per hub; ties broken by object
+        # id so the merge order is deterministic.
+        self._slot_of: dict[int, int] = {}
+        self._dists: list[np.ndarray] = []
+        self._objs: list[np.ndarray] = []
+        for ordinal in sorted(buckets):
+            stream = sorted(buckets[ordinal])
+            self._slot_of[ordinal] = len(self._dists)
+            self._dists.append(
+                np.asarray([d for d, _ in stream], dtype=np.float64)
+            )
+            self._objs.append(
+                np.asarray([o for _, o in stream], dtype=np.int64)
+            )
+        self.num_objects = len(objects)
+
+    def slot(self, hub_ordinal: int) -> int | None:
+        """Stream slot for a hub ordinal, or ``None`` if no object's
+        label contains that hub."""
+        return self._slot_of.get(hub_ordinal)
+
+    def stream(self, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(distances, objects)`` arrays of one hub's stream."""
+        return self._dists[slot], self._objs[slot]
+
+    @property
+    def num_hubs(self) -> int:
+        """Distinct hubs across all object labels."""
+        return len(self._dists)
+
+    def num_entries(self) -> int:
+        """Total ``(hub, object)`` pairs — the index's size driver."""
+        return sum(len(d) for d in self._dists)
+
+    def is_fresh(self, nvd: "ApproximateNVD") -> bool:
+        """Valid iff serving still reads the snapshotted diagram and no
+        lazy update has landed on it since."""
+        return nvd is self.nvd_ref and nvd.pending_updates == 0
+
+    def memory_bytes(self) -> int:
+        """Array payload plus the hub-ordinal slot map."""
+        arrays = sum(d.nbytes + o.nbytes for d, o in zip(self._dists, self._objs))
+        return arrays + 16 * len(self._slot_of)

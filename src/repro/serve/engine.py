@@ -29,7 +29,10 @@ Known benign races (audited, paper §5.1/§6 structures):
 fills recompute the same idempotent value, and its
 ``matrix_operations`` counter may undercount under races; neither
 affects results.  ``AltLowerBounder`` and ``HubLabeling`` are
-read-only after construction.
+read-only after construction.  ``LabelHeapGenerator``'s per-keyword
+object-label cache is filled at query time — concurrent fills build the
+same idempotent snapshot from diagram state the read lock freezes, so
+the last writer wins with an identical value.
 """
 
 from __future__ import annotations
@@ -119,6 +122,12 @@ class Engine:
         self.lock = ReadWriteLock(name="engine.rwlock")
         self._local = threading.local()
         self.updates_applied = 0
+        # A composite oracle plans batch routing from keyword
+        # selectivity; feed it the same HLL estimates the conjunctive
+        # planner uses so its plan() and the planner agree on rarity.
+        set_selectivity = getattr(kspin.oracle, "set_selectivity", None)
+        if set_selectivity is not None and self.sketches is not None:
+            set_selectivity(self.sketches.cardinality)
 
     @property
     def kspin(self) -> KSpin:

@@ -145,12 +145,20 @@ class TestHubLabeling:
             HubLabeling(grid, order=[0, 0, 1])
 
     def test_ch_rank_order_shrinks_labels(self, grid):
-        degree_order = HubLabeling(grid)
-        ch = ContractionHierarchy(grid)
-        importance = sorted(grid.vertices(), key=lambda v: -ch.rank[v])
-        ch_order = HubLabeling(grid, order=importance)
+        degree_order = HubLabeling(grid, order="degree")
+        ch_order = HubLabeling(grid, order="ch")
         # CH importance order should not be dramatically worse; usually better.
         assert ch_order.average_label_size() <= degree_order.average_label_size() * 1.5
+
+    def test_named_orders_agree_on_distances(self, grid):
+        degree_order = HubLabeling(grid, order="degree")
+        ch_order = HubLabeling(grid, order="ch")
+        for s, t in [(0, 1), (0, grid.num_vertices - 1), (3, 7)]:
+            assert ch_order.distance(s, t) == pytest.approx(degree_order.distance(s, t))
+
+    def test_rejects_unknown_named_order(self, grid):
+        with pytest.raises(ValueError):
+            HubLabeling(grid, order="alphabetical")
 
     def test_disconnected_pair_is_infinite(self):
         g = RoadNetwork(4)
